@@ -1,0 +1,59 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one paper table/figure through the experiment
+registry and prints the rendered artefact. Scaling knobs:
+
+* ``REPRO_CHIPS`` — Monte Carlo population (default here: the paper's
+  2000 chips; the yield pipeline takes a few seconds).
+* ``REPRO_TRACE`` / ``REPRO_WARMUP`` — pipeline-simulation window per
+  benchmark run (defaults here are reduced so the full Table 6 sweep
+  stays in benchmark-friendly territory; raise them to tighten CPI
+  estimates).
+* ``REPRO_BENCHMARKS`` — subset of SPEC2000-like workloads.
+
+Each benchmark runs exactly one round (the experiments are deterministic
+and internally memoised, so repeated rounds would only measure the cache).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import ExperimentSettings, run_experiment
+
+
+def _env_int(name: str, default: int) -> int:
+    value = os.environ.get(name)
+    return int(value) if value else default
+
+
+@pytest.fixture(scope="session")
+def settings() -> ExperimentSettings:
+    return ExperimentSettings(
+        seed=_env_int("REPRO_SEED", 2006),
+        chips=_env_int("REPRO_CHIPS", 2000),
+        trace_length=_env_int("REPRO_TRACE", 10_000),
+        warmup=_env_int("REPRO_WARMUP", 8_000),
+        benchmarks=(
+            tuple(os.environ["REPRO_BENCHMARKS"].split(","))
+            if os.environ.get("REPRO_BENCHMARKS")
+            else None
+        ),
+    )
+
+
+@pytest.fixture
+def run_paper_experiment(settings, benchmark):
+    """Run one experiment under the benchmark timer and print its table."""
+
+    def runner(name: str):
+        result = benchmark.pedantic(
+            run_experiment, args=(name, settings), rounds=1, iterations=1
+        )
+        print()
+        print(result.text)
+        return result
+
+    return runner

@@ -1,0 +1,12 @@
+"""Benchmark: ablation — spatial correlation vs power-down granularity."""
+
+
+def test_bench_ablation_corr(run_paper_experiment):
+    result = run_paper_experiment("ablation_corr")
+    sweep = {(ws, band): (yapd, hyapd) for ws, band, yapd, hyapd in result.data["sweep"]}
+    # with the band component on, H-YAPD's leakage/delay recovery relies
+    # on it: removing the component should not *improve* H-YAPD
+    for ws in (0.5, 1.0, 2.0):
+        with_band = sweep[(ws, 1.3)][1]
+        without = sweep[(ws, 0.0)][1]
+        assert with_band >= without - 0.05

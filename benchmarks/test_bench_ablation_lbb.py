@@ -1,0 +1,8 @@
+"""Benchmark: ablation — load-bypass buffer depth."""
+
+
+def test_bench_ablation_lbb(run_paper_experiment):
+    result = run_paper_experiment("ablation_lbb")
+    data = result.data
+    assert data[0]["reduction"] <= data[1]["reduction"] <= data[2]["reduction"]
+    assert data[0]["cost"] <= data[1]["cost"] <= data[2]["cost"]

@@ -1,0 +1,24 @@
+"""Benchmarks: the design-space ablations (associativity, temperature,
+sensors) beyond the paper's fixed setup."""
+
+
+def test_bench_ablation_assoc(run_paper_experiment):
+    result = run_paper_experiment("ablation_assoc")
+    data = result.data
+    # one power-down removes a bigger leakage share at low associativity
+    assert data[2]["yapd"] >= data[8]["yapd"]
+
+
+def test_bench_ablation_temperature(run_paper_experiment):
+    result = run_paper_experiment("ablation_temperature")
+    data = result.data
+    # cold binning shifts the loss mix toward leakage
+    assert data[300.0]["leakage"] >= data[400.0]["leakage"]
+
+
+def test_bench_ablation_sensor(run_paper_experiment):
+    result = run_paper_experiment("ablation_sensor")
+    perfect = result.data[(0.0, 0)]
+    worst = result.data[(0.25, 8)]
+    assert worst["actual"] <= perfect["actual"]
+    assert perfect["false_saves"] == 0

@@ -1,0 +1,9 @@
+"""Benchmark: Figure 1 — yield factors per technology node."""
+
+
+def test_bench_fig1(run_paper_experiment):
+    result = run_paper_experiment("fig1")
+    factors = result.data["factors"]
+    # parametric loss grows monotonically as features shrink
+    parametric = [factors[node][2] for node in ("0.35", "0.25", "0.18", "0.13", "0.09")]
+    assert parametric == sorted(parametric)

@@ -1,0 +1,8 @@
+"""Benchmark: Figure 10 — per-benchmark CPI increase for 2-2-0 (VACA)."""
+
+
+def test_bench_fig10(run_paper_experiment):
+    result = run_paper_experiment("fig10")
+    series = result.data["series"]["VACA"]
+    assert len(series) >= 1
+    assert all(value < 0.15 for value in series.values())

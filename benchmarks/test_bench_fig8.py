@@ -1,0 +1,8 @@
+"""Benchmark: Figure 8 — normalized leakage vs latency scatter."""
+
+
+def test_bench_fig8(run_paper_experiment, settings):
+    result = run_paper_experiment("fig8")
+    assert len(result.data["normalized_leakage"]) == settings.chips
+    # the paper's inverse leakage/latency relation
+    assert result.data["correlation"] < -0.3

@@ -1,0 +1,9 @@
+"""Benchmark: Figure 9 — per-benchmark CPI increase for 3-1-0."""
+
+
+def test_bench_fig9(run_paper_experiment):
+    result = run_paper_experiment("fig9")
+    series = result.data["series"]
+    # every benchmark pays something under VACA; averages are small (<10%)
+    vaca = list(series["VACA"].values())
+    assert sum(vaca) / len(vaca) < 0.10

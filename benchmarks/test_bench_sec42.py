@@ -1,0 +1,9 @@
+"""Benchmark: Section 4.2 — H-YAPD access-latency overhead."""
+
+import pytest
+
+
+def test_bench_sec42(run_paper_experiment):
+    result = run_paper_experiment("sec42")
+    assert result.data["nominal_overhead"] == pytest.approx(0.025)
+    assert result.data["h_losses"] >= result.data["base_losses"]

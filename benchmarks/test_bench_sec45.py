@@ -1,0 +1,11 @@
+"""Benchmark: Section 4.5 — naive binning at 5 and 6 cycles."""
+
+
+def test_bench_sec45(run_paper_experiment):
+    result = run_paper_experiment("sec45")
+    series = result.data["series"]
+    bench_names = list(series["binning@5"])
+    avg5 = sum(series["binning@5"].values()) / len(bench_names)
+    avg6 = sum(series["binning@6"].values()) / len(bench_names)
+    # the paper's 6.42% -> 12.62% doubling shape
+    assert 1.5 * avg5 < avg6 < 3.0 * avg5

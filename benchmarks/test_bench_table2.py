@@ -1,0 +1,13 @@
+"""Benchmark: Table 2 — sources of yield loss, regular power-down."""
+
+
+def test_bench_table2(run_paper_experiment):
+    result = run_paper_experiment("table2")
+    breakdown = result.data["breakdown"]
+    # paper shape: Hybrid best, then YAPD, then VACA, all above base
+    assert (
+        breakdown.yield_with("Hybrid")
+        > breakdown.yield_with("YAPD")
+        > breakdown.yield_with("VACA")
+        > breakdown.yield_with()
+    )

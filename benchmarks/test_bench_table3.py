@@ -1,0 +1,7 @@
+"""Benchmark: Table 3 — sources of yield loss, horizontal power-down."""
+
+
+def test_bench_table3(run_paper_experiment):
+    result = run_paper_experiment("table3")
+    breakdown = result.data["breakdown"]
+    assert breakdown.scheme_total("Hybrid-H") <= breakdown.scheme_total("H-YAPD")

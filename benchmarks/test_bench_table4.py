@@ -1,0 +1,7 @@
+"""Benchmark: Table 4 — relaxed/strict constraint totals (regular)."""
+
+
+def test_bench_table4(run_paper_experiment):
+    result = run_paper_experiment("table4")
+    breakdowns = result.data["breakdowns"]
+    assert breakdowns["strict"].base_total > breakdowns["relaxed"].base_total

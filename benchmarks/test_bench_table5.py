@@ -1,0 +1,11 @@
+"""Benchmark: Table 5 — relaxed/strict constraint totals (horizontal)."""
+
+
+def test_bench_table5(run_paper_experiment):
+    result = run_paper_experiment("table5")
+    breakdowns = result.data["breakdowns"]
+    for name in ("relaxed", "strict"):
+        bd = breakdowns[name]
+        hybrid = bd.scheme_total("Hybrid-H")
+        assert hybrid <= bd.scheme_total("H-YAPD")
+        assert hybrid <= bd.scheme_total("VACA")

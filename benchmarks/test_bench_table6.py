@@ -1,0 +1,20 @@
+"""Benchmark: Table 6 — per-configuration performance degradation.
+
+This is the heaviest artefact: it sweeps every saved cache configuration
+over the SPEC2000-like suite on the pipeline simulator. Scale with
+REPRO_TRACE / REPRO_BENCHMARKS.
+"""
+
+
+def test_bench_table6(run_paper_experiment):
+    result = run_paper_experiment("table6")
+    degs = result.data["degradations"]
+    weighted = result.data["weighted"]
+    # paper shapes: VACA cost grows with the number of slow ways,
+    # Hybrid's 3-1-0 equals VACA's, and YAPD is a single number.
+    assert degs["3-1-0"]["VACA"] <= degs["2-2-0"]["VACA"] <= degs["0-4-0"]["VACA"]
+    assert degs["3-1-0"]["Hybrid"] == degs["3-1-0"]["VACA"]
+    assert degs["3-1-0"]["YAPD"] == degs["4-0-0"]["YAPD"]
+    # weighted sums: Hybrid sits between YAPD and VACA (paper: 1.08/1.83/2.20)
+    assert weighted["YAPD"] <= weighted["Hybrid"] * 1.5
+    assert weighted["Hybrid"] <= weighted["VACA"] * 1.2

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Quickstart: manufacture a few chips and try to rescue the failures.
+
+This walks the library's core loop end to end:
+
+1. draw manufactured caches from the correlated process-variation model,
+2. evaluate their per-way delay and leakage with the circuit model,
+3. derive the paper's yield limits from a small population,
+4. classify each chip and apply YAPD / VACA / Hybrid to the failures.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.circuit import CacheCircuitModel
+from repro.core import units
+from repro.schemes import Hybrid, VACA, YAPD
+from repro.variation import CacheVariationSampler, MonteCarloEngine
+from repro.yieldmodel import ChipCase
+from repro.yieldmodel.constraints import NOMINAL_POLICY
+
+
+def main() -> None:
+    sampler = CacheVariationSampler()  # Table 1 + paper correlation factors
+    model = CacheCircuitModel()  # 16 KB, 4-way, 4 banks/way at 45 nm
+    engine = MonteCarloEngine(sampler, seed=42)
+
+    # A small population to derive the delay/leakage limits from.
+    population = engine.map_chips(model.evaluate, count=300)
+    constraints = NOMINAL_POLICY.derive(
+        [chip.access_delay for chip in population],
+        [chip.total_leakage for chip in population],
+    )
+    print(
+        f"limits: delay <= {units.to_ps(constraints.delay_limit):.0f} ps "
+        f"(4 cycles), leakage <= {units.to_mw(constraints.leakage_limit):.2f} mW"
+    )
+
+    schemes = [YAPD(), VACA(), Hybrid()]
+    shown = 0
+    for circuit in population:
+        case = ChipCase(circuit=circuit, constraints=constraints)
+        if case.passes or shown >= 5:
+            continue
+        shown += 1
+        print(
+            f"\nchip {circuit.chip_id}: {case.loss_reason.value}, "
+            f"configuration {case.configuration}, "
+            f"delay {units.to_ps(circuit.access_delay):.0f} ps, "
+            f"leakage {units.to_mw(circuit.total_leakage):.2f} mW"
+        )
+        for scheme in schemes:
+            outcome = scheme.rescue(case)
+            verdict = "SAVED" if outcome.saved else "lost "
+            print(f"  {scheme.name:8s} {verdict} - {outcome.note}")
+
+    failures = sum(
+        1
+        for circuit in population
+        if not ChipCase(circuit=circuit, constraints=constraints).passes
+    )
+    print(f"\n{failures} of {len(population)} chips fail parametric testing;")
+    saved = sum(
+        1
+        for circuit in population
+        if not ChipCase(circuit=circuit, constraints=constraints).passes
+        and Hybrid()
+        .rescue(ChipCase(circuit=circuit, constraints=constraints))
+        .saved
+    )
+    print(f"the Hybrid scheme rescues {saved} of them.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Yield study: regenerate the paper's Section 5.1 analysis at any scale.
+
+Runs a Monte Carlo population through both cache organisations, prints
+the Table 2/3-style loss breakdowns, and renders the Figure 8 scatter as
+an ASCII density grid.
+
+Run:  python examples/yield_study.py [population]
+"""
+
+import sys
+
+from repro.core import units
+from repro.experiments.fig8 import density_grid
+from repro.schemes import HYAPD, Hybrid, HybridHorizontal, VACA, YAPD
+from repro.yieldmodel import YieldStudy
+
+
+def print_breakdown(title, breakdown) -> None:
+    print(f"\n== {title} ==")
+    names = list(breakdown.scheme_losses)
+    header = f"{'reason of loss':28s} {'chips':>6s}" + "".join(
+        f" {name:>9s}" for name in names
+    )
+    print(header)
+    for reason, base, losses in breakdown.rows():
+        row = f"{reason.value:28s} {base:6d}" + "".join(
+            f" {losses[name]:9d}" for name in names
+        )
+        print(row)
+    print(
+        f"{'total':28s} {breakdown.base_total:6d}"
+        + "".join(f" {breakdown.scheme_total(name):9d}" for name in names)
+    )
+    print(
+        "yield: base {:.1%}".format(breakdown.yield_with())
+        + "".join(
+            f", {name} {breakdown.yield_with(name):.1%}" for name in names
+        )
+    )
+
+
+def main() -> None:
+    count = int(sys.argv[1]) if len(sys.argv) > 1 else 1000
+    print(f"simulating {count} manufactured caches...")
+    population = YieldStudy(seed=2006, count=count).run()
+
+    print_breakdown(
+        "Sources of yield loss: regular power-down (paper Table 2)",
+        population.breakdown([YAPD(), VACA(), Hybrid()]),
+    )
+    print_breakdown(
+        "Sources of yield loss: horizontal power-down (paper Table 3)",
+        population.breakdown(
+            [HYAPD(), VACA(), HybridHorizontal()], horizontal=True
+        ),
+    )
+
+    norm_leak, delays = population.scatter()
+    print("\n== Normalized leakage vs access latency (paper Figure 8) ==")
+    print("x: latency  y: normalized leakage  (darker = more chips)")
+    print(density_grid([units.to_ns(d) for d in delays], norm_leak))
+    print(
+        f"latency range {units.to_ns(min(delays)):.2f} - "
+        f"{units.to_ns(max(delays)):.2f} ns; "
+        f"leakage up to {max(norm_leak):.1f}x the average"
+    )
+
+
+if __name__ == "__main__":
+    main()

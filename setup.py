@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The pyproject.toml carries all metadata; this file exists so environments
+without the `wheel` package (needed for PEP 660 editable wheels) can still
+do a legacy editable install: `python setup.py develop`.
+"""
+
+from setuptools import setup
+
+setup()

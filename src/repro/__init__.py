@@ -1,0 +1,20 @@
+"""Reproduction of "Yield-Aware Cache Architectures" (MICRO 2006).
+
+Public API overview
+-------------------
+* :mod:`repro.variation` — Table 1 process parameters, spatial correlation,
+  Monte Carlo sampling of manufactured caches.
+* :mod:`repro.circuit` — analytic circuit model of the 16 KB 4-way cache
+  (the HSPICE substitute): per-way/per-band delay and leakage.
+* :mod:`repro.yieldmodel` — yield constraints, loss classification, and the
+  population analysis behind Tables 2-5 and Figure 8.
+* :mod:`repro.schemes` — YAPD, H-YAPD, VACA, Hybrid, and naive binning.
+* :mod:`repro.cache` — functional set-associative caches with way disable,
+  H-YAPD address remapping, and per-way latencies.
+* :mod:`repro.uarch` — the out-of-order pipeline simulator (SimpleScalar
+  substitute) with speculative scheduling, load-bypass buffers and replay.
+* :mod:`repro.workloads` — SPEC2000-like synthetic workload profiles.
+* :mod:`repro.experiments` — one module per paper table/figure.
+"""
+
+__version__ = "1.0.0"

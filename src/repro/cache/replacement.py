@@ -1,0 +1,97 @@
+"""Replacement policies.
+
+The paper's caches use LRU. FIFO and random are provided for
+experimentation (and to sanity-check that the yield-aware schemes'
+relative costs are not an artefact of the replacement policy).
+
+A policy instance manages *one set*: the cache keeps one instance per set.
+Ways are identified by index; the policy only ever sees ways the cache
+says are eligible (enabled for the set under YAPD/H-YAPD).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.errors import SimulationError
+
+__all__ = ["ReplacementPolicy", "LRUPolicy", "FIFOPolicy", "RandomPolicy"]
+
+
+class ReplacementPolicy(abc.ABC):
+    """Replacement state for a single cache set."""
+
+    @abc.abstractmethod
+    def touch(self, way: int) -> None:
+        """Record a hit (or fill) on ``way``."""
+
+    @abc.abstractmethod
+    def victim(self, candidates: Sequence[int]) -> int:
+        """Choose the way to evict among ``candidates``."""
+
+
+class LRUPolicy(ReplacementPolicy):
+    """True least-recently-used."""
+
+    def __init__(self) -> None:
+        self._order: List[int] = []  # most recent last
+
+    def touch(self, way: int) -> None:
+        if way in self._order:
+            self._order.remove(way)
+        self._order.append(way)
+
+    def victim(self, candidates: Sequence[int]) -> int:
+        if not candidates:
+            raise SimulationError("no eligible ways to choose a victim from")
+        # Least recently used eligible way; ways never touched are oldest.
+        untouched = [w for w in candidates if w not in self._order]
+        if untouched:
+            return untouched[0]
+        for way in self._order:
+            if way in candidates:
+                return way
+        raise SimulationError("LRU state inconsistent with candidates")
+
+
+class FIFOPolicy(ReplacementPolicy):
+    """First-in first-out: evict the oldest fill, ignore hits."""
+
+    def __init__(self) -> None:
+        self._fill_order: List[int] = []
+
+    def touch(self, way: int) -> None:
+        # FIFO only advances on fills; SetAssociativeCache calls touch()
+        # on both hits and fills, so track only the first occurrence.
+        if way not in self._fill_order:
+            self._fill_order.append(way)
+
+    def victim(self, candidates: Sequence[int]) -> int:
+        if not candidates:
+            raise SimulationError("no eligible ways to choose a victim from")
+        unfilled = [w for w in candidates if w not in self._fill_order]
+        if unfilled:
+            return unfilled[0]
+        for way in self._fill_order:
+            if way in candidates:
+                self._fill_order.remove(way)
+                return way
+        raise SimulationError("FIFO state inconsistent with candidates")
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Uniform random eviction (deterministic per seed)."""
+
+    def __init__(self, rng: Optional[np.random.Generator] = None) -> None:
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+
+    def touch(self, way: int) -> None:  # random keeps no state
+        return None
+
+    def victim(self, candidates: Sequence[int]) -> int:
+        if not candidates:
+            raise SimulationError("no eligible ways to choose a victim from")
+        return int(candidates[int(self._rng.integers(0, len(candidates)))])

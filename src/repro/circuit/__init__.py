@@ -1,0 +1,45 @@
+"""Analytic circuit model of the 16 KB 4-way data cache (paper Section 3).
+
+The paper builds an HSPICE netlist of a 16 KB, 4-way set-associative cache
+following Amrutur and Horowitz, with 45 nm PTM device and interconnect
+models, then re-simulates it 2000 times under sampled process parameters.
+No SPICE engine is available here, so this subpackage substitutes a
+first-order analytic model of the same address-to-data path:
+
+* :mod:`repro.circuit.technology` — 45 nm technology constants and the
+  calibration knobs of the analytic model.
+* :mod:`repro.circuit.devices` — alpha-power-law MOSFET drive current,
+  gate-length threshold roll-off, and subthreshold leakage.
+* :mod:`repro.circuit.interconnect` — wire R/C (with coupling) and Elmore
+  delay of distributed RC lines.
+* :mod:`repro.circuit.organization` — the physical organisation (4 ways x
+  4 banks x 64x128 bits, divided bitlines).
+* :mod:`repro.circuit.sram` — bitline discharge, sense amplifier, and cell
+  leakage models.
+* :mod:`repro.circuit.decoder` — the row-decoder chain.
+* :mod:`repro.circuit.paths` — composition of one address-to-data path.
+* :mod:`repro.circuit.cache_model` — per-way/per-band delay and leakage of
+  a whole cache under a sampled variation map.
+
+The yield experiments depend only on the joint distribution of per-way
+delay and leakage that this model induces, not on absolute picoseconds;
+see DESIGN.md for the substitution argument.
+"""
+
+from repro.circuit.technology import Technology, TECH45
+from repro.circuit.organization import CacheOrganization, PAPER_ORGANIZATION
+from repro.circuit.cache_model import (
+    CacheCircuitModel,
+    CacheCircuitResult,
+    WayCircuitResult,
+)
+
+__all__ = [
+    "Technology",
+    "TECH45",
+    "CacheOrganization",
+    "PAPER_ORGANIZATION",
+    "CacheCircuitModel",
+    "CacheCircuitResult",
+    "WayCircuitResult",
+]

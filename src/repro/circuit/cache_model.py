@@ -1,0 +1,233 @@
+"""Whole-cache delay and leakage under a sampled variation map.
+
+:class:`CacheCircuitModel` is the reproduction's stand-in for the paper's
+per-chip HSPICE run: given a :class:`~repro.variation.sampling.CacheVariationMap`
+it produces a :class:`CacheCircuitResult` holding
+
+* the delay of every (way, band) access path — the paper's
+  "critical/near-critical paths" of each way,
+* per-way access delay (max over its bands) and whole-cache access delay
+  (max over ways),
+* leakage decomposed into per-(way, band) array leakage and per-way
+  peripheral leakage, which is exactly the granularity the power-down
+  schemes reason about (YAPD removes a way's array *and* peripherals;
+  H-YAPD removes one band of every way plus a fraction of peripherals).
+
+An ``hyapd=True`` model applies the paper's measured 2.5% access-latency
+overhead of the reorganised post-decoders (Section 4.2) uniformly to all
+paths; leakage is unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.circuit import sram
+from repro.circuit.devices import subthreshold_current
+from repro.circuit.organization import CacheOrganization, PAPER_ORGANIZATION
+from repro.circuit.paths import PathSizing, DEFAULT_PATH_SIZING, access_path_delay
+from repro.circuit.technology import Technology, TECH45
+from repro.core import units
+from repro.core.errors import ConfigurationError
+from repro.variation.parameters import TABLE1, VariationTable
+from repro.variation.sampling import (
+    CacheVariationMap,
+    WayVariation,
+    PERIPHERAL_SEGMENTS,
+)
+
+__all__ = ["WayCircuitResult", "CacheCircuitResult", "CacheCircuitModel"]
+
+#: Effective leaking transistor width (m) of each peripheral segment,
+#: sized so peripherals contribute a high-single-digit percentage of the
+#: nominal cache leakage (the cell array dominates, as in the paper).
+PERIPHERAL_LEAK_WIDTHS = {
+    "decoder": 200 * units.UM,
+    "precharge": 100 * units.UM,
+    "senseamp": 120 * units.UM,
+    "outdriver": 50 * units.UM,
+}
+
+
+@dataclass(frozen=True)
+class WayCircuitResult:
+    """Delay and leakage of one cache way.
+
+    Attributes
+    ----------
+    way:
+        Way index.
+    band_delays:
+        Access-path delay (s) through each horizontal band of this way.
+    band_leakage:
+        Array leakage power (W) of each band of this way.
+    peripheral_leakage:
+        Leakage power (W) of this way's decoder/precharge/sense/output
+        periphery.
+    """
+
+    way: int
+    band_delays: Tuple[float, ...]
+    band_leakage: Tuple[float, ...]
+    peripheral_leakage: float
+
+    @property
+    def delay(self) -> float:
+        """Access delay (s) of the way: its slowest band path."""
+        return max(self.band_delays)
+
+    @property
+    def array_leakage(self) -> float:
+        """Total array leakage power (W) of the way."""
+        return sum(self.band_leakage)
+
+    @property
+    def leakage(self) -> float:
+        """Total leakage power (W) of the way (array + periphery)."""
+        return self.array_leakage + self.peripheral_leakage
+
+    def delay_without_band(self, band: int) -> float:
+        """Way delay (s) if horizontal band ``band`` were powered down."""
+        remaining = [d for i, d in enumerate(self.band_delays) if i != band]
+        if not remaining:
+            raise ConfigurationError("cannot power down the only band of a way")
+        return max(remaining)
+
+    def critical_band(self) -> int:
+        """Index of the band holding this way's critical path."""
+        return max(range(len(self.band_delays)), key=lambda i: self.band_delays[i])
+
+
+@dataclass(frozen=True)
+class CacheCircuitResult:
+    """Delay and leakage of one manufactured cache."""
+
+    chip_id: int
+    ways: Tuple[WayCircuitResult, ...]
+    hyapd: bool = False
+
+    @property
+    def num_ways(self) -> int:
+        return len(self.ways)
+
+    @property
+    def num_bands(self) -> int:
+        return len(self.ways[0].band_delays)
+
+    @property
+    def way_delays(self) -> Tuple[float, ...]:
+        """Access delay (s) of every way."""
+        return tuple(way.delay for way in self.ways)
+
+    @property
+    def access_delay(self) -> float:
+        """Cache access delay (s): the slowest way (paper Section 5.1)."""
+        return max(self.way_delays)
+
+    @property
+    def way_leakages(self) -> Tuple[float, ...]:
+        """Total leakage power (W) of every way."""
+        return tuple(way.leakage for way in self.ways)
+
+    @property
+    def total_leakage(self) -> float:
+        """Total cache leakage power (W)."""
+        return sum(self.way_leakages)
+
+    def band_array_leakage(self, band: int) -> float:
+        """Array leakage (W) of horizontal band ``band`` summed over ways."""
+        return sum(way.band_leakage[band] for way in self.ways)
+
+    def total_peripheral_leakage(self) -> float:
+        """Leakage (W) of all way peripheries."""
+        return sum(way.peripheral_leakage for way in self.ways)
+
+
+class CacheCircuitModel:
+    """Evaluates sampled caches into delays and leakage.
+
+    Parameters
+    ----------
+    tech:
+        Technology constants.
+    org:
+        Physical organisation.
+    hyapd:
+        If true, model the H-YAPD post-decoder organisation: all access
+        paths take the paper's 2.5% latency overhead.
+    sizing:
+        Driver sizing of the access path.
+    """
+
+    def __init__(
+        self,
+        tech: Technology = TECH45,
+        org: CacheOrganization = PAPER_ORGANIZATION,
+        hyapd: bool = False,
+        sizing: PathSizing = DEFAULT_PATH_SIZING,
+    ) -> None:
+        self.tech = tech
+        self.org = org
+        self.hyapd = hyapd
+        self.sizing = sizing
+        self._delay_scale = 1.0 + (tech.hyapd_delay_overhead if hyapd else 0.0)
+
+    # ------------------------------------------------------------------
+    def _evaluate_way(self, way: WayVariation) -> WayCircuitResult:
+        band_delays = tuple(
+            access_path_delay(way, band, self.tech, self.org, self.sizing)
+            * way.band_residual(band)
+            * self._delay_scale
+            for band in range(self.org.num_bands)
+        )
+        band_leakage = tuple(
+            self.org.bits_per_bank
+            * sram.cell_leakage(way.bands[band], self.tech)
+            * self.tech.vdd
+            for band in range(self.org.num_bands)
+        )
+        peripheral = sum(
+            subthreshold_current(
+                PERIPHERAL_LEAK_WIDTHS[name], way.peripheral(name), self.tech
+            )
+            * self.tech.vdd
+            for name in PERIPHERAL_SEGMENTS
+        )
+        return WayCircuitResult(
+            way=way.way,
+            band_delays=band_delays,
+            band_leakage=band_leakage,
+            peripheral_leakage=peripheral,
+        )
+
+    def evaluate(self, cvmap: CacheVariationMap) -> CacheCircuitResult:
+        """Evaluate one sampled cache."""
+        if cvmap.num_bands != self.org.num_bands:
+            raise ConfigurationError(
+                f"variation map has {cvmap.num_bands} bands, "
+                f"organisation expects {self.org.num_bands}"
+            )
+        return CacheCircuitResult(
+            chip_id=cvmap.chip_id,
+            ways=tuple(self._evaluate_way(way) for way in cvmap.ways),
+            hyapd=self.hyapd,
+        )
+
+    def nominal(self, table: VariationTable = TABLE1) -> CacheCircuitResult:
+        """Evaluate the zero-variation cache (design reference)."""
+        nominal = table.nominal()
+        ways = tuple(
+            WayVariation(
+                way=w,
+                params=nominal,
+                decoder=nominal,
+                precharge=nominal,
+                senseamp=nominal,
+                outdriver=nominal,
+                bands=tuple(nominal for _ in range(self.org.num_bands)),
+            )
+            for w in range(self.org.num_ways)
+        )
+        cvmap = CacheVariationMap(chip_id=-1, die=nominal, ways=ways)
+        return self.evaluate(cvmap)

@@ -1,0 +1,93 @@
+"""Row-decoder chain model (paper Section 3, Figure 3).
+
+The decode path consists of the address bus into the way (the paper adds
+coupling capacitance between its lines), a short predecode chain, and the
+final gate that launches the global wordline. All devices in this path
+take the way's *decoder* segment parameters; the address-bus wire takes the
+same segment's interconnect parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.circuit import devices, interconnect
+from repro.circuit.technology import Technology
+from repro.core import units
+from repro.core.validation import require_positive
+from repro.variation.parameters import ProcessParameters
+
+__all__ = ["DecoderSizing", "DEFAULT_DECODER_SIZING", "decoder_delay"]
+
+
+@dataclass(frozen=True)
+class DecoderSizing:
+    """Gate sizing of the decode chain.
+
+    Attributes
+    ----------
+    address_bus_length:
+        Length (m) of the address bus from the drivers to the predecoders.
+    address_driver_width:
+        Width (m) of the address bus drivers.
+    stage_widths:
+        Widths (m) of the successive predecode/decode gates; each stage
+        drives the next stage's gate capacitance times ``stage_fanout``.
+    stage_fanout:
+        Electrical fanout between consecutive decode stages.
+    wordline_driver_width:
+        Width (m) of the global wordline driver the chain must charge.
+    """
+
+    address_bus_length: float = 60 * units.UM
+    address_driver_width: float = 1.5 * units.UM
+    stage_widths: Tuple[float, ...] = (
+        0.5 * units.UM,
+        1.0 * units.UM,
+        2.0 * units.UM,
+    )
+    stage_fanout: float = 4.0
+    wordline_driver_width: float = 4.0 * units.UM
+
+    def __post_init__(self) -> None:
+        require_positive(self.address_bus_length, "address_bus_length")
+        require_positive(self.address_driver_width, "address_driver_width")
+        require_positive(self.stage_fanout, "stage_fanout")
+        require_positive(self.wordline_driver_width, "wordline_driver_width")
+        if not self.stage_widths:
+            raise ValueError("decoder needs at least one stage")
+        for width in self.stage_widths:
+            require_positive(width, "stage width")
+
+
+DEFAULT_DECODER_SIZING = DecoderSizing()
+
+
+def decoder_delay(
+    params: ProcessParameters,
+    tech: Technology,
+    sizing: DecoderSizing = DEFAULT_DECODER_SIZING,
+) -> float:
+    """Delay (s) from address arrival to the global wordline driver input."""
+    # Address bus: driven RC line loaded by the first predecode gates.
+    first_gate_cap = tech.gate_cap_per_width * sizing.stage_widths[0] * 4
+    bus_delay = interconnect.elmore_delay(
+        devices.effective_resistance(sizing.address_driver_width, params, tech),
+        sizing.address_bus_length,
+        params,
+        tech,
+        load_cap=first_gate_cap,
+    )
+    # Predecode/decode chain: each stage drives the next, the last stage
+    # drives the global wordline driver gate.
+    total = bus_delay
+    widths = sizing.stage_widths
+    for i, width in enumerate(widths):
+        if i + 1 < len(widths):
+            load_width = widths[i + 1] * sizing.stage_fanout
+        else:
+            load_width = sizing.wordline_driver_width
+        load_cap = tech.gate_cap_per_width * load_width
+        total += devices.stage_delay(width, load_cap, params, tech)
+    return total

@@ -1,0 +1,98 @@
+"""First-order MOSFET behaviour under process variation.
+
+Three effects carry essentially all of the paper's Section 2 physics:
+
+* **Threshold roll-off** — a shorter channel lowers the effective
+  threshold voltage (DIBL / short-channel effect). This couples gate-length
+  variation into both delay (faster) and leakage (exponentially leakier),
+  and is what makes the fast bins leaky (paper Sections 1-2).
+* **Alpha-power-law drive current** — ``I_on ~ (W/L) * (Vdd - Vt_eff)^alpha``
+  (Sakurai-Newton). Delay of a switching stage is then
+  ``delay_coeff * C * Vdd / I_on``.
+* **Subthreshold leakage** — exponential in the effective threshold:
+  ``I_sub ~ (W/L) * 10^(-Vt_eff / swing)``, with the textbook thermal
+  scaling (magnitude ~T^2, swing ~T) so yield can be studied at different
+  binning temperatures; at the calibration reference (85 C) the thermal
+  factors are exactly 1.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.technology import Technology
+from repro.core.errors import ConfigurationError
+from repro.variation.parameters import ProcessParameters
+
+__all__ = [
+    "effective_threshold",
+    "drive_current",
+    "subthreshold_current",
+    "effective_resistance",
+    "stage_delay",
+]
+
+#: Effective thresholds are floored here so the exponentials stay finite
+#: even for extreme (clipped) parameter draws.
+_MIN_VT = 0.02
+#: Overdrive floor: a device this close to Vdd-limited is treated as broken
+#: rather than producing absurd delays.
+_MIN_OVERDRIVE = 0.05
+
+
+def effective_threshold(params: ProcessParameters, tech: Technology) -> float:
+    """Effective threshold voltage (V) after gate-length roll-off.
+
+    ``Vt_eff = Vt - vt_rolloff * (L_nominal - L) / L_nominal`` — a device
+    with a shorter-than-nominal channel has a lower threshold, a longer
+    channel a higher one.
+    """
+    shortfall = (tech.nominal_lgate - params.lgate) / tech.nominal_lgate
+    return max(params.vt - tech.vt_rolloff * shortfall, _MIN_VT)
+
+
+def drive_current(width: float, params: ProcessParameters, tech: Technology) -> float:
+    """Saturation drive current (A) of a device of the given width (m)."""
+    if width <= 0:
+        raise ConfigurationError(f"device width must be > 0, got {width}")
+    vt_eff = effective_threshold(params, tech)
+    overdrive = max(tech.vdd - vt_eff, _MIN_OVERDRIVE)
+    mobility = tech.temperature_ratio ** (-tech.mobility_exponent)
+    return (
+        tech.drive_k * mobility * (width / params.lgate)
+        * overdrive**tech.alpha
+    )
+
+
+def subthreshold_current(
+    width: float, params: ProcessParameters, tech: Technology
+) -> float:
+    """Subthreshold (off-state) leakage current (A) of a device (width in m)."""
+    if width <= 0:
+        raise ConfigurationError(f"device width must be > 0, got {width}")
+    vt_eff = effective_threshold(params, tech)
+    ratio = tech.temperature_ratio
+    swing = tech.subthreshold_swing * ratio  # n*kT/q*ln10 scales with T
+    return (
+        tech.leak_i0
+        * ratio**2
+        * (width / params.lgate)
+        * 10.0 ** (-vt_eff / swing)
+    )
+
+
+def effective_resistance(
+    width: float, params: ProcessParameters, tech: Technology
+) -> float:
+    """Effective switching resistance (ohm) of a driver of the given width."""
+    return tech.vdd / drive_current(width, params, tech)
+
+
+def stage_delay(
+    drive_width: float,
+    load_cap: float,
+    params: ProcessParameters,
+    tech: Technology,
+) -> float:
+    """Delay (s) of one switching stage driving ``load_cap`` farads."""
+    if load_cap < 0:
+        raise ConfigurationError(f"load capacitance must be >= 0, got {load_cap}")
+    return tech.delay_coeff * effective_resistance(drive_width, params, tech) * load_cap

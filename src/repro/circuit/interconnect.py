@@ -1,0 +1,102 @@
+"""Interconnect parasitics and Elmore delay (paper Section 2, Figure 2).
+
+The paper models interconnect variation through metal thickness (T),
+inter-layer dielectric thickness (H), and line width (W), and replaces the
+cache's internal wires with distributed RC ladders. We reproduce that with
+closed forms:
+
+* resistance per metre ``R' = rho / (W * T)`` — note the *reciprocal*
+  dependence: thin/narrow excursions produce a fat right tail in delay,
+* ground capacitance per metre ``C'_g = eps * W / H`` plus a fixed fringe
+  term,
+* coupling capacitance per metre ``C'_c = miller * eps * T / S`` where the
+  spacing ``S = pitch - W`` shrinks as the line widens (the paper notes
+  line-space is not an independent parameter),
+* Elmore delay of a distributed line with a lumped driver and load:
+  ``0.69 R_drv (C_w + C_L) + 0.38 R_w C_w + 0.69 R_w C_L``.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.technology import Technology
+from repro.core.errors import ConfigurationError
+from repro.variation.parameters import ProcessParameters
+
+__all__ = [
+    "wire_resistance_per_m",
+    "wire_capacitance_per_m",
+    "wire_resistance",
+    "wire_capacitance",
+    "elmore_delay",
+]
+
+#: Spacing can never collapse below this fraction of the pitch (etch rules).
+_MIN_SPACING_FRACTION = 0.15
+
+
+def wire_resistance_per_m(params: ProcessParameters, tech: Technology) -> float:
+    """Wire resistance per metre (ohm/m) for the sampled W and T."""
+    area = params.metal_width * params.metal_thickness
+    if area <= 0:
+        raise ConfigurationError("wire cross-section must be positive")
+    return tech.wire_resistivity / area
+
+
+def wire_capacitance_per_m(params: ProcessParameters, tech: Technology) -> float:
+    """Wire capacitance per metre (F/m): ground + fringe + Miller-coupled."""
+    ground = tech.wire_cap_eps * params.metal_width / params.ild_thickness
+    spacing = max(
+        tech.wire_pitch - params.metal_width,
+        tech.wire_pitch * _MIN_SPACING_FRACTION,
+    )
+    coupling = (
+        tech.coupling_miller * tech.wire_cap_eps * params.metal_thickness / spacing
+    )
+    return ground + tech.wire_fringe_cap + coupling
+
+
+def wire_resistance(length: float, params: ProcessParameters, tech: Technology) -> float:
+    """Total resistance (ohm) of a wire of the given length (m)."""
+    if length < 0:
+        raise ConfigurationError(f"wire length must be >= 0, got {length}")
+    return wire_resistance_per_m(params, tech) * length
+
+
+def wire_capacitance(length: float, params: ProcessParameters, tech: Technology) -> float:
+    """Total capacitance (F) of a wire of the given length (m)."""
+    if length < 0:
+        raise ConfigurationError(f"wire length must be >= 0, got {length}")
+    return wire_capacitance_per_m(params, tech) * length
+
+
+def elmore_delay(
+    driver_resistance: float,
+    length: float,
+    params: ProcessParameters,
+    tech: Technology,
+    load_cap: float = 0.0,
+) -> float:
+    """Elmore delay (s) of a distributed RC line.
+
+    Parameters
+    ----------
+    driver_resistance:
+        Effective resistance of the lumped driver (ohm).
+    length:
+        Wire length (m).
+    params:
+        Sampled interconnect parameters for this segment.
+    tech:
+        Technology constants.
+    load_cap:
+        Lumped capacitance at the far end (F).
+    """
+    if driver_resistance < 0 or load_cap < 0:
+        raise ConfigurationError("driver resistance and load cap must be >= 0")
+    r_wire = wire_resistance(length, params, tech)
+    c_wire = wire_capacitance(length, params, tech)
+    return (
+        0.69 * driver_resistance * (c_wire + load_cap)
+        + 0.38 * r_wire * c_wire
+        + 0.69 * r_wire * load_cap
+    )

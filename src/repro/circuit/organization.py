@@ -1,0 +1,121 @@
+"""Physical organisation of the modelled cache (paper Section 3, Figure 3).
+
+The paper's cache: 16 KB, 4-way set associative; each way divided into 4
+banks of 64 x 128 bits; each bitline partitioned into two segments to cut
+the bitline delay. We identify a *horizontal band* (the H-YAPD power-down
+granularity) with one bank row-range per way: disabling band ``b`` turns
+off the same physical rows of every way, which is exactly the paper's
+Figure 6 geometry at our modelling granularity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import units
+from repro.core.validation import (
+    require_divides,
+    require_positive,
+    require_power_of_two,
+)
+
+__all__ = ["CacheOrganization", "PAPER_ORGANIZATION"]
+
+
+@dataclass(frozen=True)
+class CacheOrganization:
+    """Physical array organisation of the modelled cache.
+
+    Attributes
+    ----------
+    num_ways:
+        Associativity (the paper: 4).
+    banks_per_way:
+        Number of banks stacked in each way (the paper: 4); each bank is
+        one horizontal band for H-YAPD purposes.
+    rows_per_bank, cols_per_bank:
+        Bank array dimensions in bits (the paper: 64 x 128).
+    bitline_segments:
+        Number of segments each bitline is divided into (the paper: 2).
+    block_bytes:
+        Cache block size of the L1 data cache (the paper: 32 B).
+    """
+
+    num_ways: int = 4
+    banks_per_way: int = 4
+    rows_per_bank: int = 64
+    cols_per_bank: int = 128
+    bitline_segments: int = 2
+    block_bytes: int = 32
+
+    def __post_init__(self) -> None:
+        require_positive(self.num_ways, "num_ways")
+        require_positive(self.banks_per_way, "banks_per_way")
+        require_power_of_two(self.rows_per_bank, "rows_per_bank")
+        require_power_of_two(self.cols_per_bank, "cols_per_bank")
+        require_positive(self.bitline_segments, "bitline_segments")
+        require_divides(self.bitline_segments, self.rows_per_bank, "bitline_segments")
+        require_power_of_two(self.block_bytes, "block_bytes")
+
+    # ------------------------------------------------------------------
+    # derived counts
+    # ------------------------------------------------------------------
+    @property
+    def bits_per_bank(self) -> int:
+        return self.rows_per_bank * self.cols_per_bank
+
+    @property
+    def bits_per_way(self) -> int:
+        return self.bits_per_bank * self.banks_per_way
+
+    @property
+    def total_bits(self) -> int:
+        return self.bits_per_way * self.num_ways
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Data capacity in bytes (the paper's model: 16 KB)."""
+        return self.total_bits // 8
+
+    @property
+    def num_bands(self) -> int:
+        """Horizontal power-down bands per way (one per bank)."""
+        return self.banks_per_way
+
+    @property
+    def rows_per_segment(self) -> int:
+        """Rows attached to one bitline segment."""
+        return self.rows_per_bank // self.bitline_segments
+
+    # ------------------------------------------------------------------
+    # derived physical dimensions (need a Technology for cell size)
+    # ------------------------------------------------------------------
+    def wordline_length(self, cell_width: float) -> float:
+        """Local wordline length (m) across one bank."""
+        return self.cols_per_bank * cell_width
+
+    def bitline_segment_length(self, cell_height: float) -> float:
+        """Length (m) of one bitline segment."""
+        return self.rows_per_segment * cell_height
+
+    def bank_height(self, cell_height: float) -> float:
+        """Physical height (m) of one bank, used for global-wire distances."""
+        return self.rows_per_bank * cell_height
+
+    def global_wire_length(self, band: int, cell_height: float) -> float:
+        """Length (m) of the global wires from the way edge to band ``band``.
+
+        Band 0 sits next to the decoder/sense periphery; farther bands pay
+        proportionally longer global wordline and data-return wires. A
+        half-bank stub reaches the middle of the target bank.
+        """
+        if not 0 <= band < self.num_bands:
+            raise ValueError(f"band {band} out of range")
+        return (band + 0.5) * self.bank_height(cell_height)
+
+
+#: The paper's 16 KB, 4-way, 4-banks-per-way organisation.
+PAPER_ORGANIZATION = CacheOrganization()
+
+# Sanity: the defaults must describe a 16 KB cache like the paper's.
+assert PAPER_ORGANIZATION.capacity_bytes == 16 * units.KB

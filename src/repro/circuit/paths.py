@@ -1,0 +1,125 @@
+"""Composition of one address-to-data access path (paper Figure 3).
+
+A path through way ``w`` and horizontal band (bank) ``b`` is:
+
+1. decode chain (decoder segment parameters),
+2. global wordline from the decoder to bank ``b`` — an RC line whose
+   length grows with the band's physical distance (way-level interconnect
+   parameters),
+3. local wordline across the bank (band parameters),
+4. precharge release + bitline discharge in the bank (precharge and band
+   parameters),
+5. sense amplification (sense-amp segment parameters),
+6. output drive and the data return wire back past ``b`` banks
+   (output-driver segment parameters over way-level metal).
+
+The per-band global-wire distance is what makes far banks naturally
+near-critical, and the shared band variation component is what aligns the
+*same* band's criticality across ways — together they reproduce the
+paper's Section 4.2 premise for H-YAPD.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuit import devices, interconnect, sram
+from repro.circuit.decoder import DecoderSizing, DEFAULT_DECODER_SIZING, decoder_delay
+from repro.circuit.organization import CacheOrganization
+from repro.circuit.technology import Technology
+from repro.core import units
+from repro.core.validation import require_positive
+from repro.variation.sampling import WayVariation
+
+__all__ = ["PathSizing", "DEFAULT_PATH_SIZING", "access_path_delay"]
+
+
+@dataclass(frozen=True)
+class PathSizing:
+    """Driver sizing of the array-access portion of the path.
+
+    Attributes
+    ----------
+    gwl_driver_width:
+        Global wordline driver width (m).
+    lwl_driver_width:
+        Local wordline driver width (m).
+    output_driver_width:
+        Data output driver width (m).
+    output_load_cap:
+        Lumped load at the end of the data return path (F) — the way
+        multiplexer and the bus to the load/store unit.
+    decoder:
+        Sizing of the decode chain.
+    """
+
+    gwl_driver_width: float = 4.0 * units.UM
+    lwl_driver_width: float = 2.0 * units.UM
+    output_driver_width: float = 4.0 * units.UM
+    output_load_cap: float = 25.0 * units.FF
+    decoder: DecoderSizing = DEFAULT_DECODER_SIZING
+
+    def __post_init__(self) -> None:
+        require_positive(self.gwl_driver_width, "gwl_driver_width")
+        require_positive(self.lwl_driver_width, "lwl_driver_width")
+        require_positive(self.output_driver_width, "output_driver_width")
+        require_positive(self.output_load_cap, "output_load_cap")
+
+
+DEFAULT_PATH_SIZING = PathSizing()
+
+
+def access_path_delay(
+    way: WayVariation,
+    band: int,
+    tech: Technology,
+    org: CacheOrganization,
+    sizing: PathSizing = DEFAULT_PATH_SIZING,
+) -> float:
+    """Address-to-data delay (s) through ``way`` and horizontal band ``band``."""
+    band_params = way.bands[band]
+    global_length = org.global_wire_length(band, tech.cell_height)
+
+    # 1. decode
+    delay = decoder_delay(way.decoder, tech, sizing.decoder)
+
+    # 2. global wordline out to the target bank (way-level metal)
+    gwl_load = tech.gate_cap_per_width * sizing.lwl_driver_width
+    delay += interconnect.elmore_delay(
+        devices.effective_resistance(sizing.gwl_driver_width, way.decoder, tech),
+        global_length,
+        way.params,
+        tech,
+        load_cap=gwl_load,
+    )
+
+    # 3. local wordline across the bank: the wire plus every cell's access
+    #    transistor gate on the row.
+    lwl_length = org.wordline_length(tech.cell_width)
+    cell_gates = org.cols_per_bank * tech.gate_cap_per_width * tech.cell_read_width
+    delay += interconnect.elmore_delay(
+        devices.effective_resistance(sizing.lwl_driver_width, band_params, tech),
+        lwl_length,
+        band_params,
+        tech,
+        load_cap=cell_gates,
+    )
+
+    # 4. precharge release and bitline discharge
+    delay += sram.precharge_delay(way.precharge, band_params, tech, org)
+    delay += sram.bitline_delay(band_params, tech, org)
+
+    # 5. sense amplification
+    delay += sram.senseamp_delay(way.senseamp, tech)
+
+    # 6. output drive and data return past `band` banks (way-level metal)
+    delay += interconnect.elmore_delay(
+        devices.effective_resistance(
+            sizing.output_driver_width, way.outdriver, tech
+        ),
+        global_length,
+        way.params,
+        tech,
+        load_cap=sizing.output_load_cap,
+    )
+    return delay

@@ -1,0 +1,90 @@
+"""SRAM array stage models: precharge, bitline discharge, sense, leakage.
+
+The bitline stage dominates array delay: after the wordline rises, the
+selected cell's read stack discharges one bitline until the differential
+reaches the sense amplifier's required swing. Its delay is
+
+    t_bl = C_bitline * sense_swing / I_cell
+
+where ``C_bitline`` combines the wire parasitics of one bitline segment
+(the paper divides each bitline in two) with the drain junctions of every
+cell attached to the segment, and ``I_cell`` is the read-stack drive
+current of the accessed cell. Cell leakage is the subthreshold current of
+the cell's effective leaking width; with ~131K cells it dominates the
+cache's static power, exactly as the paper assumes.
+"""
+
+from __future__ import annotations
+
+from repro.circuit import devices, interconnect
+from repro.circuit.organization import CacheOrganization
+from repro.circuit.technology import Technology
+from repro.core import units
+from repro.variation.parameters import ProcessParameters
+
+__all__ = [
+    "bitline_capacitance",
+    "bitline_delay",
+    "precharge_delay",
+    "senseamp_delay",
+    "cell_leakage",
+]
+
+#: Precharge PMOS width (m); sized to restore a segment quickly.
+PRECHARGE_WIDTH = 2.0 * units.UM
+#: Fraction of the bitline capacitance the precharge stage must slew before
+#: the wordline can fire (models precharge-release overlap).
+PRECHARGE_SLEW_FRACTION = 0.15
+#: Sense-amplifier input/regeneration stage widths (m).
+SENSEAMP_STAGE_WIDTH = 1.0 * units.UM
+#: Capacitive load of one sense-amplifier stage (F).
+SENSEAMP_STAGE_CAP = 4.0 * units.FF
+#: Number of gate stages inside the sense amplifier.
+SENSEAMP_STAGES = 2
+
+
+def bitline_capacitance(
+    params: ProcessParameters, tech: Technology, org: CacheOrganization
+) -> float:
+    """Capacitance (F) of one bitline segment: wire plus cell drains."""
+    length = org.bitline_segment_length(tech.cell_height)
+    wire = interconnect.wire_capacitance(length, params, tech)
+    drains = org.rows_per_segment * tech.drain_cap_per_width * tech.cell_read_width
+    return wire + drains
+
+
+def bitline_delay(
+    params: ProcessParameters, tech: Technology, org: CacheOrganization
+) -> float:
+    """Time (s) for the accessed cell to develop the sense swing."""
+    cap = bitline_capacitance(params, tech, org)
+    current = devices.drive_current(tech.cell_read_width, params, tech)
+    return cap * tech.sense_swing / current
+
+
+def precharge_delay(
+    precharge_params: ProcessParameters,
+    array_params: ProcessParameters,
+    tech: Technology,
+    org: CacheOrganization,
+) -> float:
+    """Precharge-release overhead (s) before the bitline can discharge.
+
+    The precharge devices' own parameters set the drive; the bitline load
+    comes from the array segment's parameters.
+    """
+    cap = bitline_capacitance(array_params, tech, org) * PRECHARGE_SLEW_FRACTION
+    return devices.stage_delay(PRECHARGE_WIDTH, cap, precharge_params, tech)
+
+
+def senseamp_delay(params: ProcessParameters, tech: Technology) -> float:
+    """Sense amplifier resolution delay (s): a short regenerative chain."""
+    per_stage = devices.stage_delay(
+        SENSEAMP_STAGE_WIDTH, SENSEAMP_STAGE_CAP, params, tech
+    )
+    return SENSEAMP_STAGES * per_stage
+
+
+def cell_leakage(params: ProcessParameters, tech: Technology) -> float:
+    """Subthreshold leakage current (A) of one SRAM cell."""
+    return devices.subthreshold_current(tech.cell_leak_width, params, tech)

@@ -1,0 +1,158 @@
+"""45 nm technology constants for the analytic cache circuit model.
+
+The paper uses 45 nm PTM device and interconnect cards inside HSPICE. The
+analytic substitute reduces those cards to the constants below. Two groups:
+
+* *Physical constants* with directly meaningful units (supply voltage,
+  copper resistivity, capacitance coefficients, cell dimensions).
+* *Calibration knobs* (`alpha`, `vt_rolloff`, `subthreshold_swing`,
+  `drive_k`, `leak_i0`) whose values are chosen so the model reproduces the
+  variation behaviour the paper cites: roughly 3x subthreshold leakage per
+  10% gate-length reduction, 5-10x leakage from threshold-voltage spread,
+  and double-digit-percent access-time variation — see
+  ``tests/test_circuit_sensitivity.py`` which pins these behaviours.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core import units
+from repro.core.validation import require_positive
+
+__all__ = ["Technology", "TECH45", "REFERENCE_TEMPERATURE"]
+
+#: Junction temperature (K) at which the model was calibrated (85 C).
+REFERENCE_TEMPERATURE = 358.0
+
+
+@dataclass(frozen=True)
+class Technology:
+    """Technology constants consumed by the circuit model.
+
+    Attributes
+    ----------
+    vdd:
+        Supply voltage (V).
+    nominal_lgate:
+        Drawn/nominal gate length (m); the reference for threshold
+        roll-off.
+    nominal_vt:
+        Nominal threshold voltage (V).
+    alpha:
+        Velocity-saturation exponent of the alpha-power-law drive current.
+    vt_rolloff:
+        Threshold reduction per unit *fractional* gate-length reduction
+        (V); models DIBL/short-channel roll-off. 1.0 means a 10% shorter
+        channel lowers Vt by 100 mV.
+    subthreshold_swing:
+        Subthreshold swing (V/decade of leakage current).
+    drive_k:
+        Drive-current coefficient (A): I_on = drive_k * (W/L) *
+        (Vdd - Vt_eff)^alpha.
+    leak_i0:
+        Leakage coefficient (A): I_sub = leak_i0 * (W/L) *
+        10^(-Vt_eff / subthreshold_swing).
+    gate_cap_per_width:
+        Gate capacitance per metre of transistor width (F/m).
+    drain_cap_per_width:
+        Drain junction capacitance per metre of width (F/m).
+    delay_coeff:
+        RC-to-delay coefficient for a switching stage (0.69 for a step
+        input in the Elmore approximation).
+    wire_resistivity:
+        Effective interconnect resistivity including barrier/scattering
+        (ohm * m).
+    wire_cap_eps:
+        Effective dielectric permittivity coefficient used for both the
+        ground and coupling components of wire capacitance (F/m).
+    wire_fringe_cap:
+        Fringe capacitance per metre of wire (F/m), width-independent.
+    wire_pitch:
+        Interconnect pitch (m); line spacing is pitch minus line width.
+    coupling_miller:
+        Miller factor applied to coupling capacitance (worst-case
+        simultaneous opposite switching of both neighbours would be 2.0).
+    sense_swing:
+        Bitline differential the sense amplifier needs (V).
+    cell_width, cell_height:
+        SRAM cell footprint (m) along the wordline and bitline directions.
+    cell_read_width:
+        Effective width (m) of the cell's read stack (access transistor in
+        series with the pull-down).
+    cell_leak_width:
+        Total effective leaking width per cell (m).
+    hyapd_delay_overhead:
+        Fractional access-latency increase of the H-YAPD post-decoder
+        organisation (paper Section 4.2: 2.5%).
+    temperature:
+        Operating junction temperature (K). Subthreshold leakage scales
+        with T^2 and the swing with T; carrier mobility (drive current)
+        falls as T^mobility_exponent. The calibration reference is
+        :data:`REFERENCE_TEMPERATURE` (85 C, a typical hot-spot binning
+        condition), at which all temperature factors are exactly 1.
+    mobility_exponent:
+        Exponent of the mobility-vs-temperature power law.
+    """
+
+    vdd: float = 0.9
+    nominal_lgate: float = 45 * units.NM
+    nominal_vt: float = 220 * units.MV
+    alpha: float = 2.4
+    vt_rolloff: float = 2.60
+    subthreshold_swing: float = 150 * units.MV
+    drive_k: float = 8.0e-6
+    leak_i0: float = 5.0e-6
+    gate_cap_per_width: float = 1.0e-9
+    drain_cap_per_width: float = 0.8e-9
+    delay_coeff: float = 0.69
+    wire_resistivity: float = 3.0e-8
+    wire_cap_eps: float = 2.0e-11
+    wire_fringe_cap: float = 40e-12
+    wire_pitch: float = 0.5 * units.UM
+    coupling_miller: float = 1.5
+    sense_swing: float = 100 * units.MV
+    cell_width: float = 0.80 * units.UM
+    cell_height: float = 0.46 * units.UM
+    cell_read_width: float = 55 * units.NM
+    cell_leak_width: float = 180 * units.NM
+    hyapd_delay_overhead: float = 0.025
+    temperature: float = 358.0
+    mobility_exponent: float = 1.5
+
+    def __post_init__(self) -> None:
+        for name in (
+            "vdd",
+            "nominal_lgate",
+            "nominal_vt",
+            "alpha",
+            "subthreshold_swing",
+            "drive_k",
+            "leak_i0",
+            "gate_cap_per_width",
+            "drain_cap_per_width",
+            "delay_coeff",
+            "wire_resistivity",
+            "wire_cap_eps",
+            "wire_pitch",
+            "sense_swing",
+            "cell_width",
+            "cell_height",
+            "cell_read_width",
+            "cell_leak_width",
+            "temperature",
+        ):
+            require_positive(getattr(self, name), name)
+
+    def replace(self, **changes) -> "Technology":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)
+
+    @property
+    def temperature_ratio(self) -> float:
+        """T / T_reference: the scale factor of the thermal models."""
+        return self.temperature / REFERENCE_TEMPERATURE
+
+
+#: Default 45 nm technology instance used by the paper reproduction.
+TECH45 = Technology()

@@ -1,0 +1,127 @@
+"""Command-line interface.
+
+Examples::
+
+    repro list
+    repro run table2
+    repro run table6 --trace 20000 --benchmarks gzip,mcf,swim
+    repro all --chips 500 --out results/
+
+The same environment variables the experiment settings honour
+(``REPRO_CHIPS`` etc.) also work; explicit flags win.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import List, Optional
+
+from repro.experiments import (
+    ExperimentSettings,
+    available_experiments,
+    run_experiment,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Yield-Aware Cache Architectures' (MICRO 2006)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    def add_settings(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--seed", type=int, default=None, help="experiment seed")
+        p.add_argument(
+            "--chips", type=int, default=None, help="Monte Carlo population"
+        )
+        p.add_argument(
+            "--trace", type=int, default=None,
+            help="measured instructions per pipeline run",
+        )
+        p.add_argument(
+            "--warmup", type=int, default=None,
+            help="cache warmup instructions per pipeline run",
+        )
+        p.add_argument(
+            "--benchmarks", type=str, default=None,
+            help="comma-separated benchmark subset",
+        )
+        p.add_argument(
+            "--out", type=pathlib.Path, default=None,
+            help="directory to also write results into",
+        )
+
+    run_parser = sub.add_parser("run", help="run one experiment")
+    run_parser.add_argument("experiment", choices=available_experiments())
+    add_settings(run_parser)
+
+    all_parser = sub.add_parser("all", help="run every experiment")
+    add_settings(all_parser)
+    return parser
+
+
+def _settings_from_args(args: argparse.Namespace) -> ExperimentSettings:
+    defaults = ExperimentSettings()
+    return ExperimentSettings(
+        seed=args.seed if args.seed is not None else defaults.seed,
+        chips=args.chips if args.chips is not None else defaults.chips,
+        trace_length=args.trace if args.trace is not None else defaults.trace_length,
+        warmup=args.warmup if args.warmup is not None else defaults.warmup,
+        benchmarks=(
+            tuple(args.benchmarks.split(","))
+            if args.benchmarks
+            else defaults.benchmarks
+        ),
+    )
+
+
+def _emit(result, out: Optional[pathlib.Path]) -> None:
+    from repro.reporting.figures import figure_svg
+
+    print(result.text)
+    print()
+    if out is not None:
+        out.mkdir(parents=True, exist_ok=True)
+        (out / f"{result.experiment}.txt").write_text(
+            result.text + "\n", encoding="utf-8"
+        )
+        svg = figure_svg(result)
+        if svg is not None:
+            (out / f"{result.experiment}.svg").write_text(svg, encoding="utf-8")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for name in available_experiments():
+            print(name)
+        return 0
+
+    settings = _settings_from_args(args)
+    if args.command == "run":
+        result = run_experiment(args.experiment, settings)
+        _emit(result, args.out)
+        return 0
+
+    # `all`
+    for name in available_experiments():
+        result = run_experiment(name, settings)
+        _emit(result, args.out)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,21 @@
+"""Exception hierarchy for the yield-aware cache reproduction."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed with inconsistent or invalid parameters."""
+
+
+class CalibrationError(ReproError):
+    """A calibration routine failed to reach its target."""
+
+
+class SimulationError(ReproError):
+    """An internal invariant of a simulator was violated at runtime."""
+
+
+class TraceError(ReproError):
+    """A workload trace is malformed or inconsistent with its metadata."""

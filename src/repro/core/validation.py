@@ -1,0 +1,45 @@
+"""Small validation helpers shared by configuration dataclasses."""
+
+from __future__ import annotations
+
+from repro.core.errors import ConfigurationError
+
+__all__ = [
+    "require_positive",
+    "require_non_negative",
+    "require_in_range",
+    "require_power_of_two",
+    "require_divides",
+]
+
+
+def require_positive(value: float, name: str) -> None:
+    """Raise :class:`ConfigurationError` unless ``value`` is strictly positive."""
+    if not value > 0:
+        raise ConfigurationError(f"{name} must be > 0, got {value!r}")
+
+
+def require_non_negative(value: float, name: str) -> None:
+    """Raise :class:`ConfigurationError` unless ``value`` is >= 0."""
+    if value < 0:
+        raise ConfigurationError(f"{name} must be >= 0, got {value!r}")
+
+
+def require_in_range(value: float, low: float, high: float, name: str) -> None:
+    """Raise unless ``low <= value <= high``."""
+    if not (low <= value <= high):
+        raise ConfigurationError(f"{name} must be in [{low}, {high}], got {value!r}")
+
+
+def require_power_of_two(value: int, name: str) -> None:
+    """Raise unless ``value`` is a positive power of two."""
+    if value <= 0 or value & (value - 1):
+        raise ConfigurationError(f"{name} must be a power of two, got {value!r}")
+
+
+def require_divides(divisor: int, dividend: int, name: str) -> None:
+    """Raise unless ``divisor`` evenly divides ``dividend``."""
+    if divisor <= 0 or dividend % divisor:
+        raise ConfigurationError(
+            f"{name}: {divisor} must evenly divide {dividend}"
+        )

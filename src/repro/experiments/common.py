@@ -1,0 +1,196 @@
+"""Shared experiment infrastructure.
+
+:class:`ExperimentSettings` carries everything that identifies a
+reproduction run: the Monte Carlo seed and population size, and the
+pipeline-simulation trace lengths. Environment variables provide coarse
+scaling without touching code:
+
+* ``REPRO_CHIPS`` — Monte Carlo population (default 2000, the paper's).
+* ``REPRO_TRACE`` — measured instructions per benchmark run.
+* ``REPRO_WARMUP`` — cache-warmup instructions per run.
+* ``REPRO_BENCHMARKS`` — comma-separated benchmark subset.
+* ``REPRO_SEED`` — experiment seed.
+
+The expensive inputs — the evaluated chip population and per-benchmark
+pipeline results — are memoised per settings instance within the process.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cache.setassoc import WayConfig
+from repro.core.validation import require_positive
+from repro.schemes import Hybrid, HybridHorizontal, HYAPD, VACA, YAPD
+from repro.uarch import PAPER_CORE, SimResult, Simulator
+from repro.workloads import SPEC2000_ALL, TraceGenerator, get_profile
+from repro.yieldmodel import PopulationResult, YieldStudy
+from repro.yieldmodel.constraints import (
+    ConstraintPolicy,
+    NOMINAL_POLICY,
+)
+
+__all__ = [
+    "ExperimentSettings",
+    "ExperimentResult",
+    "render_table",
+    "population",
+    "benchmark_names",
+    "simulate_config",
+    "scheme_set",
+]
+
+
+def _env_int(name: str, default: int) -> int:
+    value = os.environ.get(name)
+    return int(value) if value else default
+
+
+@dataclass(frozen=True)
+class ExperimentSettings:
+    """Identity of one reproduction run."""
+
+    seed: int = field(default_factory=lambda: _env_int("REPRO_SEED", 2006))
+    chips: int = field(default_factory=lambda: _env_int("REPRO_CHIPS", 2000))
+    trace_length: int = field(
+        default_factory=lambda: _env_int("REPRO_TRACE", 30_000)
+    )
+    warmup: int = field(default_factory=lambda: _env_int("REPRO_WARMUP", 20_000))
+    benchmarks: Optional[Tuple[str, ...]] = field(
+        default_factory=lambda: (
+            tuple(os.environ["REPRO_BENCHMARKS"].split(","))
+            if os.environ.get("REPRO_BENCHMARKS")
+            else None
+        )
+    )
+
+    def __post_init__(self) -> None:
+        require_positive(self.chips, "chips")
+        require_positive(self.trace_length, "trace_length")
+        if self.warmup < 0:
+            raise ValueError("warmup must be >= 0")
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one experiment: structured rows plus rendered text."""
+
+    experiment: str
+    title: str
+    headers: List[str]
+    rows: List[List[object]]
+    notes: List[str] = field(default_factory=list)
+    data: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def text(self) -> str:
+        """Rendered table plus notes."""
+        body = render_table(self.headers, self.rows)
+        parts = [f"== {self.title} ==", body]
+        parts.extend(self.notes)
+        return "\n".join(parts)
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a fixed-width ASCII table."""
+
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.2f}"
+        return str(value)
+
+    table = [list(map(fmt, headers))] + [list(map(fmt, row)) for row in rows]
+    widths = [max(len(row[i]) for row in table) for i in range(len(headers))]
+    lines = []
+    for r, row in enumerate(table):
+        lines.append(
+            "  ".join(cell.rjust(width) for cell, width in zip(row, widths))
+        )
+        if r == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# memoised expensive inputs
+# ----------------------------------------------------------------------
+_POPULATIONS: Dict[Tuple[int, int, str], PopulationResult] = {}
+_SIMS: Dict[Tuple, SimResult] = {}
+
+
+def population(
+    settings: ExperimentSettings, policy: ConstraintPolicy = NOMINAL_POLICY
+) -> PopulationResult:
+    """The evaluated Monte Carlo chip population for these settings."""
+    key = (settings.seed, settings.chips, policy.name)
+    if key not in _POPULATIONS:
+        study = YieldStudy(
+            seed=settings.seed, count=settings.chips, policy=policy
+        )
+        _POPULATIONS[key] = study.run()
+    return _POPULATIONS[key]
+
+
+def benchmark_names(settings: ExperimentSettings) -> List[str]:
+    """The benchmark subset this run simulates."""
+    if settings.benchmarks is not None:
+        return [get_profile(name).name for name in settings.benchmarks]
+    return [profile.name for profile in SPEC2000_ALL]
+
+
+def simulate_config(
+    settings: ExperimentSettings,
+    benchmark: str,
+    way_cycles: Optional[Tuple[Optional[int], ...]] = None,
+    uniform_latency: Optional[int] = None,
+) -> SimResult:
+    """Run (memoised) one benchmark under one L1D configuration.
+
+    ``way_cycles`` is a tuple of per-way latencies with ``None`` for
+    disabled ways; ``None`` overall means the healthy baseline.
+    ``uniform_latency`` selects naive binning instead (the scheduler's
+    predicted load latency is raised to match).
+    """
+    key = (
+        settings.seed,
+        settings.trace_length,
+        settings.warmup,
+        benchmark,
+        way_cycles,
+        uniform_latency,
+    )
+    if key in _SIMS:
+        return _SIMS[key]
+    profile = get_profile(benchmark)
+    trace = TraceGenerator(profile, seed=settings.seed).generate(
+        settings.warmup + settings.trace_length
+    )
+    core = PAPER_CORE
+    l1d_config = None
+    if uniform_latency is not None:
+        core = core.replace(predicted_load_latency=uniform_latency)
+    elif way_cycles is not None:
+        l1d_config = WayConfig(latencies=way_cycles)
+    simulator = Simulator(
+        core=core,
+        l1d_config=l1d_config,
+        uniform_load_latency=uniform_latency,
+    )
+    result = simulator.run(trace, warmup=settings.warmup)
+    _SIMS[key] = result
+    return result
+
+
+def scheme_set(horizontal: bool = False):
+    """The scheme instances a loss table compares (paper column order)."""
+    if horizontal:
+        return [HYAPD(), VACA(), HybridHorizontal()]
+    return [YAPD(), VACA(), Hybrid()]
+
+
+def clear_caches() -> None:
+    """Drop memoised populations and simulations (tests use this)."""
+    _POPULATIONS.clear()
+    _SIMS.clear()

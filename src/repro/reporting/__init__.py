@@ -1,0 +1,17 @@
+"""Figure rendering without plotting dependencies.
+
+The reproduction runs in offline environments, so the paper's figures are
+rendered to standalone SVG with a small built-in canvas:
+
+* :mod:`repro.reporting.svg` — minimal SVG document builder.
+* :mod:`repro.reporting.charts` — scatter plots (Figure 8) and grouped
+  bar charts (Figures 9/10) on top of it.
+
+The CLI writes them next to the text artefacts:
+``repro run fig8 --out results/`` produces ``results/fig8.svg``.
+"""
+
+from repro.reporting.svg import SvgCanvas
+from repro.reporting.charts import bar_chart, scatter_chart
+
+__all__ = ["SvgCanvas", "scatter_chart", "bar_chart"]

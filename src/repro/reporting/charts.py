@@ -1,0 +1,190 @@
+"""Chart builders for the paper's figure styles.
+
+Two chart shapes cover the paper's evaluation figures:
+
+* :func:`scatter_chart` — Figure 8's leakage-vs-latency cloud, with
+  optional reference lines for the yield limits.
+* :func:`bar_chart` — Figures 9/10's per-benchmark grouped bars.
+
+Both return complete SVG documents as strings.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.errors import ConfigurationError
+from repro.reporting.svg import SvgCanvas
+
+__all__ = ["scatter_chart", "bar_chart"]
+
+#: Category palette (colour-blind safe).
+PALETTE = ("#4477aa", "#ee6677", "#228833", "#ccbb44", "#66ccee")
+
+_MARGIN_LEFT = 64
+_MARGIN_BOTTOM = 46
+_MARGIN_TOP = 30
+_MARGIN_RIGHT = 16
+
+
+def _nice_ticks(low: float, high: float, count: int = 5) -> List[float]:
+    """Round tick positions covering [low, high]."""
+    if high <= low:
+        high = low + 1.0
+    raw_step = (high - low) / count
+    magnitude = 10 ** math.floor(math.log10(raw_step))
+    for factor in (1, 2, 2.5, 5, 10):
+        step = factor * magnitude
+        if step >= raw_step:
+            break
+    first = math.floor(low / step) * step
+    ticks = []
+    tick = first
+    while tick <= high + step / 2:
+        ticks.append(round(tick, 10))
+        tick += step
+    return ticks
+
+
+def _axes(
+    canvas: SvgCanvas,
+    xlim: Tuple[float, float],
+    ylim: Tuple[float, float],
+    title: str,
+    xlabel: str,
+    ylabel: str,
+):
+    """Draw axes/ticks/labels; return data->pixel transforms."""
+    plot_w = canvas.width - _MARGIN_LEFT - _MARGIN_RIGHT
+    plot_h = canvas.height - _MARGIN_TOP - _MARGIN_BOTTOM
+
+    def to_x(value: float) -> float:
+        return _MARGIN_LEFT + (value - xlim[0]) / (xlim[1] - xlim[0]) * plot_w
+
+    def to_y(value: float) -> float:
+        return (
+            canvas.height
+            - _MARGIN_BOTTOM
+            - (value - ylim[0]) / (ylim[1] - ylim[0]) * plot_h
+        )
+
+    canvas.text(canvas.width / 2, 18, title, size=13, anchor="middle")
+    canvas.line(
+        _MARGIN_LEFT, canvas.height - _MARGIN_BOTTOM,
+        canvas.width - _MARGIN_RIGHT, canvas.height - _MARGIN_BOTTOM,
+    )
+    canvas.line(
+        _MARGIN_LEFT, _MARGIN_TOP, _MARGIN_LEFT, canvas.height - _MARGIN_BOTTOM
+    )
+    for tick in _nice_ticks(*xlim):
+        if not xlim[0] <= tick <= xlim[1]:
+            continue
+        x = to_x(tick)
+        canvas.line(
+            x, canvas.height - _MARGIN_BOTTOM,
+            x, canvas.height - _MARGIN_BOTTOM + 4,
+        )
+        canvas.text(
+            x, canvas.height - _MARGIN_BOTTOM + 16,
+            f"{tick:g}", size=10, anchor="middle",
+        )
+    for tick in _nice_ticks(*ylim):
+        if not ylim[0] <= tick <= ylim[1]:
+            continue
+        y = to_y(tick)
+        canvas.line(_MARGIN_LEFT - 4, y, _MARGIN_LEFT, y)
+        canvas.text(_MARGIN_LEFT - 8, y + 4, f"{tick:g}", size=10, anchor="end")
+    canvas.text(
+        canvas.width / 2, canvas.height - 8, xlabel, size=11, anchor="middle"
+    )
+    canvas.text(
+        16, canvas.height / 2, ylabel, size=11, anchor="middle", rotate=-90.0
+    )
+    return to_x, to_y
+
+
+def scatter_chart(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    title: str,
+    xlabel: str,
+    ylabel: str,
+    vline: Optional[float] = None,
+    hline: Optional[float] = None,
+    width: int = 640,
+    height: int = 420,
+) -> str:
+    """Render a scatter plot; ``vline``/``hline`` mark yield limits."""
+    if len(xs) != len(ys) or not xs:
+        raise ConfigurationError("scatter needs equal, non-empty series")
+    canvas = SvgCanvas(width, height)
+    xlim = (min(xs), max(xs))
+    ylim = (min(ys), max(ys))
+    to_x, to_y = _axes(canvas, xlim, ylim, title, xlabel, ylabel)
+    for x, y in zip(xs, ys):
+        canvas.circle(to_x(x), to_y(y), 1.6, fill=PALETTE[0], opacity=0.45)
+    if vline is not None and xlim[0] <= vline <= xlim[1]:
+        canvas.line(
+            to_x(vline), to_y(ylim[0]), to_x(vline), to_y(ylim[1]),
+            stroke=PALETTE[1], dash="5,4",
+        )
+    if hline is not None and ylim[0] <= hline <= ylim[1]:
+        canvas.line(
+            to_x(xlim[0]), to_y(hline), to_x(xlim[1]), to_y(hline),
+            stroke=PALETTE[1], dash="5,4",
+        )
+    return canvas.render()
+
+
+def bar_chart(
+    categories: Sequence[str],
+    series: Dict[str, Sequence[float]],
+    title: str,
+    ylabel: str,
+    width: int = 900,
+    height: int = 420,
+) -> str:
+    """Render grouped bars (one group per category, one bar per series)."""
+    if not categories or not series:
+        raise ConfigurationError("bar chart needs categories and series")
+    for name, values in series.items():
+        if len(values) != len(categories):
+            raise ConfigurationError(
+                f"series {name!r} length does not match categories"
+            )
+    canvas = SvgCanvas(width, height)
+    top = max(max(values) for values in series.values())
+    top = top if top > 0 else 1.0
+    to_x, to_y = _axes(
+        canvas,
+        (0.0, float(len(categories))),
+        (0.0, top * 1.1),
+        title,
+        "",
+        ylabel,
+    )
+    group_width = to_x(1) - to_x(0)
+    bar_width = group_width * 0.8 / len(series)
+    base_y = to_y(0.0)
+    for s, (name, values) in enumerate(series.items()):
+        colour = PALETTE[s % len(PALETTE)]
+        for c, value in enumerate(values):
+            x = to_x(c) + group_width * 0.1 + s * bar_width
+            y = to_y(value)
+            canvas.rect(x, y, bar_width, base_y - y, fill=colour)
+        # legend
+        lx = canvas.width - _MARGIN_RIGHT - 120
+        ly = _MARGIN_TOP + 16 * s
+        canvas.rect(lx, ly, 10, 10, fill=colour)
+        canvas.text(lx + 14, ly + 9, name, size=10)
+    for c, label in enumerate(categories):
+        canvas.text(
+            to_x(c) + group_width / 2,
+            canvas.height - _MARGIN_BOTTOM + 14,
+            label,
+            size=9,
+            anchor="end",
+            rotate=-40.0,
+        )
+    return canvas.render()

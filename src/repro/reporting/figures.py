@@ -1,0 +1,44 @@
+"""SVG renderings of the paper's figures from experiment results."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.experiments.common import ExperimentResult
+from repro.reporting.charts import bar_chart, scatter_chart
+
+__all__ = ["figure_svg"]
+
+
+def figure_svg(result: ExperimentResult) -> Optional[str]:
+    """Render the SVG counterpart of an experiment, if it has one.
+
+    Returns ``None`` for table-shaped experiments.
+    """
+    if result.experiment == "fig8":
+        return scatter_chart(
+            xs=result.data["latency_ns"],
+            ys=result.data["normalized_leakage"],
+            title="Figure 8: normalized leakage vs cache access latency",
+            xlabel="access latency (ns)",
+            ylabel="leakage / population average",
+            hline=3.0,  # the nominal leakage limit
+        )
+    if result.experiment in ("fig9", "fig10", "sec45"):
+        series = result.data["series"]
+        categories = list(next(iter(series.values())))
+        titles = {
+            "fig9": "Figure 9: CPI increase for configuration 3-1-0",
+            "fig10": "Figure 10: CPI increase for configuration 2-2-0",
+            "sec45": "Section 4.5: naive binning CPI overhead",
+        }
+        return bar_chart(
+            categories=categories,
+            series={
+                name: [100 * values[c] for c in categories]
+                for name, values in series.items()
+            },
+            title=titles[result.experiment],
+            ylabel="CPI increase [%]",
+        )
+    return None

@@ -1,0 +1,113 @@
+"""Scheme interface and rescue outcomes.
+
+A scheme is a pure function from a :class:`ChipCase` to a
+:class:`RescueOutcome`. Outcomes carry the post-rescue cache shape — which
+way or horizontal band was powered down and the access cycles of every
+surviving way — which is exactly what the functional cache model and the
+pipeline simulator need to measure the performance cost of the rescue.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.core.errors import ConfigurationError
+from repro.yieldmodel.classify import ChipCase
+
+__all__ = ["RescueOutcome", "Scheme"]
+
+
+@dataclass(frozen=True)
+class RescueOutcome:
+    """Result of applying a scheme to one failing (or passing) chip.
+
+    Attributes
+    ----------
+    scheme:
+        Name of the scheme that produced this outcome.
+    saved:
+        True when the chip meets all constraints after the rescue.
+    configuration:
+        The chip's *pre-rescue* Table 6 way-latency key (e.g. ``"3-1-0"``),
+        recorded so saved chips can be grouped by configuration.
+    disabled_way:
+        Index of the powered-down vertical way, if any.
+    disabled_band:
+        Index of the powered-down horizontal band, if any.
+    way_cycles:
+        Post-rescue access cycles per way; ``None`` entries are disabled
+        ways. ``None`` overall when the chip is lost.
+    note:
+        Human-readable explanation (why lost, or what was done).
+    """
+
+    scheme: str
+    saved: bool
+    configuration: str
+    disabled_way: Optional[int] = None
+    disabled_band: Optional[int] = None
+    way_cycles: Optional[Tuple[Optional[int], ...]] = None
+    note: str = ""
+
+    def __post_init__(self) -> None:
+        if self.disabled_way is not None and self.disabled_band is not None:
+            raise ConfigurationError(
+                "a rescue cannot disable both a way and a band"
+            )
+        if self.saved and self.way_cycles is None:
+            raise ConfigurationError("a saved chip must carry its way cycles")
+
+    @property
+    def enabled_ways(self) -> Tuple[int, ...]:
+        """Indices of ways still powered after the rescue."""
+        if self.way_cycles is None:
+            return ()
+        return tuple(
+            w for w, cycles in enumerate(self.way_cycles) if cycles is not None
+        )
+
+    @property
+    def max_cycles(self) -> Optional[int]:
+        """Slowest enabled way's latency, or None when lost."""
+        if self.way_cycles is None:
+            return None
+        enabled = [c for c in self.way_cycles if c is not None]
+        return max(enabled) if enabled else None
+
+
+class Scheme(abc.ABC):
+    """A yield-aware rescue scheme."""
+
+    #: Display name used in tables; subclasses override.
+    name: str = "scheme"
+
+    @abc.abstractmethod
+    def rescue(self, case: ChipCase) -> RescueOutcome:
+        """Attempt to rescue ``case``; never mutates it."""
+
+    # ------------------------------------------------------------------
+    # shared helpers
+    # ------------------------------------------------------------------
+    def _pass_through(self, case: ChipCase) -> RescueOutcome:
+        """Outcome for a chip that needs no intervention."""
+        return RescueOutcome(
+            scheme=self.name,
+            saved=True,
+            configuration=case.configuration,
+            way_cycles=case.way_cycles,
+            note="meets all constraints unmodified",
+        )
+
+    def _lost(self, case: ChipCase, note: str) -> RescueOutcome:
+        """Outcome for a chip the scheme cannot save."""
+        return RescueOutcome(
+            scheme=self.name,
+            saved=False,
+            configuration=case.configuration,
+            note=note,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"

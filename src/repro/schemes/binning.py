@@ -1,0 +1,57 @@
+"""Naive latency re-binning (paper Section 4.5).
+
+The easiest way to ship a delay-violating chip is to re-bin it: tell the
+scheduler that *every* load takes 5 (or 6) cycles, so even the slowest way
+meets timing. No hardware changes, but every access — including those to
+perfectly fast ways — pays the extra latency, which the paper measures at
+6.42% average CPI degradation for one extra cycle and 12.62% for two.
+Leakage violations are untouched.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import ConfigurationError
+from repro.schemes.base import RescueOutcome, Scheme
+from repro.yieldmodel.classify import ChipCase
+from repro.yieldmodel.constraints import BASE_ACCESS_CYCLES
+
+__all__ = ["NaiveBinning"]
+
+
+class NaiveBinning(Scheme):
+    """Run the whole cache at a uniformly higher access latency.
+
+    Parameters
+    ----------
+    target_cycles:
+        The uniform access latency of the new bin (5 or 6 in the paper).
+    """
+
+    def __init__(self, target_cycles: int = BASE_ACCESS_CYCLES + 1) -> None:
+        if target_cycles < BASE_ACCESS_CYCLES:
+            raise ConfigurationError(
+                f"target_cycles must be >= {BASE_ACCESS_CYCLES}"
+            )
+        self.target_cycles = target_cycles
+        self.name = f"Binning@{target_cycles}"
+
+    def rescue(self, case: ChipCase) -> RescueOutcome:
+        if case.passes:
+            return self._pass_through(case)
+        if case.leakage_violation:
+            return self._lost(case, "re-binning cannot reduce leakage")
+        if max(case.way_cycles) > self.target_cycles:
+            return self._lost(
+                case,
+                f"a way needs more than {self.target_cycles} cycles",
+            )
+        way_cycles = tuple(
+            self.target_cycles for _ in range(case.circuit.num_ways)
+        )
+        return RescueOutcome(
+            scheme=self.name,
+            saved=True,
+            configuration=case.configuration,
+            way_cycles=way_cycles,
+            note=f"entire cache re-binned at {self.target_cycles} cycles",
+        )

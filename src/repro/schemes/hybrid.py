@@ -1,0 +1,158 @@
+"""Hybrid schemes (paper Section 4.4): VACA plus one power-down.
+
+The Hybrid cache implements both the load-bypass buffers of VACA and the
+power-down machinery of YAPD (or H-YAPD). The paper's fixed policy keeps
+ways powered as long as possible: a way (or horizontal band) is disabled
+only when its delay exceeds 5 cycles or the cache violates the leakage
+limit, and — like YAPD — at most one unit may ever be disabled.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.schemes.base import RescueOutcome, Scheme
+from repro.schemes.hyapd import HYAPD
+from repro.yieldmodel.classify import ChipCase, VACA_MAX_CYCLES
+
+__all__ = ["Hybrid", "HybridHorizontal"]
+
+
+class Hybrid(Scheme):
+    """VACA latencies plus at most one vertical way power-down."""
+
+    name = "Hybrid"
+
+    def rescue(self, case: ChipCase) -> RescueOutcome:
+        if case.passes:
+            return self._pass_through(case)
+
+        # VACA mode first: keep everything powered if 5 cycles suffice.
+        if not case.leakage_violation and max(case.way_cycles) <= VACA_MAX_CYCLES:
+            return RescueOutcome(
+                scheme=self.name,
+                saved=True,
+                configuration=case.configuration,
+                way_cycles=case.way_cycles,
+                note="slow ways served at 5 cycles (no power-down needed)",
+            )
+
+        target = self._pick_target(case)
+        if target is None:
+            return self._lost(case, self._loss_note(case))
+
+        way_cycles: Tuple[Optional[int], ...] = tuple(
+            None if w == target else case.way_cycles[w]
+            for w in range(case.circuit.num_ways)
+        )
+        return RescueOutcome(
+            scheme=self.name,
+            saved=True,
+            configuration=case.configuration,
+            disabled_way=target,
+            way_cycles=way_cycles,
+            note=f"disabled way {target}, remaining ways at up to 5 cycles",
+        )
+
+    # ------------------------------------------------------------------
+    def _feasible(self, case: ChipCase, way: int) -> bool:
+        """Would disabling ``way`` satisfy both constraints?"""
+        cycles_ok = all(
+            case.way_cycles[w] <= VACA_MAX_CYCLES
+            for w in range(case.circuit.num_ways)
+            if w != way
+        )
+        leakage_ok = case.constraints.meets_leakage(
+            case.leakage_after_disabling_way(way)
+        )
+        return cycles_ok and leakage_ok
+
+    def _pick_target(self, case: ChipCase) -> Optional[int]:
+        """Choose the single way to disable, honouring the paper's policy.
+
+        Preference order: the (single) way needing 6+ cycles, then the
+        leakiest way; either choice must actually repair the chip.
+        """
+        too_slow = [
+            w for w, c in enumerate(case.way_cycles) if c > VACA_MAX_CYCLES
+        ]
+        if len(too_slow) > 1:
+            return None
+        candidates = []
+        if too_slow:
+            candidates.append(too_slow[0])
+        if case.leakage_violation:
+            leakiest = case.max_leakage_way()
+            if leakiest not in candidates:
+                candidates.append(leakiest)
+        for way in candidates:
+            if self._feasible(case, way):
+                return way
+        return None
+
+    def _loss_note(self, case: ChipCase) -> str:
+        too_slow = [
+            w for w, c in enumerate(case.way_cycles) if c > VACA_MAX_CYCLES
+        ]
+        if len(too_slow) > 1:
+            return f"{len(too_slow)} ways need 6+ cycles; only one may be disabled"
+        if case.leakage_violation:
+            return "leakage remains above limit after disabling one way"
+        return "no single power-down repairs the chip"
+
+
+class HybridHorizontal(Scheme):
+    """VACA latencies plus at most one horizontal band power-down.
+
+    Parameters
+    ----------
+    peripheral_save_fraction:
+        See :class:`~repro.schemes.hyapd.HYAPD`.
+    """
+
+    name = "Hybrid-H"
+
+    def __init__(self, peripheral_save_fraction: float = 0.5) -> None:
+        self._hyapd = HYAPD(peripheral_save_fraction)
+
+    def rescue(self, case: ChipCase) -> RescueOutcome:
+        if case.passes:
+            return self._pass_through(case)
+
+        if not case.leakage_violation and max(case.way_cycles) <= VACA_MAX_CYCLES:
+            return RescueOutcome(
+                scheme=self.name,
+                saved=True,
+                configuration=case.configuration,
+                way_cycles=case.way_cycles,
+                note="slow ways served at 5 cycles (no power-down needed)",
+            )
+
+        best_band: Optional[int] = None
+        best_leakage = float("inf")
+        best_cycles: Optional[Tuple[int, ...]] = None
+        for band in range(case.circuit.num_bands):
+            cycles = case.way_cycles_without_band(band)
+            if max(cycles) > VACA_MAX_CYCLES:
+                continue
+            leakage = self._hyapd.leakage_after_disabling_band(case, band)
+            if not case.constraints.meets_leakage(leakage):
+                continue
+            if leakage < best_leakage:
+                best_band, best_leakage, best_cycles = band, leakage, cycles
+
+        if best_band is None or best_cycles is None:
+            return self._lost(
+                case, "no single horizontal band repairs the chip"
+            )
+        return RescueOutcome(
+            scheme=self.name,
+            saved=True,
+            configuration=case.configuration,
+            disabled_band=best_band,
+            way_cycles=best_cycles,
+            note=(
+                f"disabled horizontal band {best_band}, "
+                "remaining paths at up to 5 cycles"
+            ),
+        )

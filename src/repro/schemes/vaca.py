@@ -1,0 +1,90 @@
+"""Variable-latency Cache Architecture (paper Section 4.3).
+
+VACA keeps every way powered but lets slow ways complete in 5 cycles
+instead of 4. Load-bypass buffers with a single entry in front of each
+functional unit absorb exactly one extra cycle, so a way needing 6 or more
+cycles is beyond rescue, and because nothing is powered down VACA cannot
+fix a leakage violation at all.
+
+:class:`DeepVACA` generalises to multi-entry buffers — the extension the
+paper discusses and rejects ("the additional yield optimizations ... are
+minor and the performance degradation can be very high"); the
+``ablation_lbb`` experiment quantifies that trade-off.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import ConfigurationError
+from repro.schemes.base import RescueOutcome, Scheme
+from repro.yieldmodel.classify import ChipCase, VACA_MAX_CYCLES
+from repro.yieldmodel.constraints import BASE_ACCESS_CYCLES
+
+__all__ = ["VACA", "DeepVACA"]
+
+
+class VACA(Scheme):
+    """Tolerate 5-cycle ways via load-bypass buffers; no power-down."""
+
+    name = "VACA"
+
+    def rescue(self, case: ChipCase) -> RescueOutcome:
+        if case.passes:
+            return self._pass_through(case)
+        if case.leakage_violation:
+            return self._lost(case, "VACA cannot reduce leakage")
+        slowest = max(case.way_cycles)
+        if slowest > VACA_MAX_CYCLES:
+            return self._lost(
+                case,
+                f"a way needs {slowest} cycles; load-bypass buffers allow "
+                f"at most {VACA_MAX_CYCLES}",
+            )
+        return RescueOutcome(
+            scheme=self.name,
+            saved=True,
+            configuration=case.configuration,
+            way_cycles=case.way_cycles,
+            note="slow ways served at 5 cycles",
+        )
+
+
+class DeepVACA(Scheme):
+    """VACA with ``slack``-entry load-bypass buffers (paper Section 4.3's
+    rejected extension: tolerate ways up to ``4 + slack`` cycles).
+
+    Parameters
+    ----------
+    slack:
+        Extra cycles the buffers can absorb (1 reproduces :class:`VACA`).
+    """
+
+    def __init__(self, slack: int = 2) -> None:
+        if slack < 0:
+            raise ConfigurationError(f"slack must be >= 0, got {slack}")
+        self.slack = slack
+        self.name = f"VACA+{slack}"
+
+    @property
+    def max_cycles(self) -> int:
+        """Slowest tolerable way latency."""
+        return BASE_ACCESS_CYCLES + self.slack
+
+    def rescue(self, case: ChipCase) -> RescueOutcome:
+        if case.passes:
+            return self._pass_through(case)
+        if case.leakage_violation:
+            return self._lost(case, "cannot reduce leakage")
+        slowest = max(case.way_cycles)
+        if slowest > self.max_cycles:
+            return self._lost(
+                case,
+                f"a way needs {slowest} cycles; {self.slack}-entry buffers "
+                f"allow at most {self.max_cycles}",
+            )
+        return RescueOutcome(
+            scheme=self.name,
+            saved=True,
+            configuration=case.configuration,
+            way_cycles=case.way_cycles,
+            note=f"slow ways served at up to {self.max_cycles} cycles",
+        )

@@ -1,0 +1,85 @@
+"""Yield-Aware Power-Down (paper Section 4.1).
+
+YAPD permanently gates off at most one cache way (Selective Cache Ways
+combined with Gated-Vdd, so the way's decoders, precharge and sense
+circuits stop leaking too):
+
+* a way that violates the delay limit is turned off;
+* if the cache violates the leakage limit, the highest-leakage way is
+  turned off.
+
+The 2% performance-degradation budget (Section 4.2) allows only a single
+way to be disabled, so chips with two or more delay-violating ways — or
+whose leakage remains excessive after removing the worst way — stay lost.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.schemes.base import RescueOutcome, Scheme
+from repro.yieldmodel.classify import ChipCase
+from repro.yieldmodel.constraints import BASE_ACCESS_CYCLES
+
+__all__ = ["YAPD"]
+
+
+class YAPD(Scheme):
+    """Power down one vertical way to fix a delay or leakage violation."""
+
+    name = "YAPD"
+
+    def rescue(self, case: ChipCase) -> RescueOutcome:
+        if case.passes:
+            return self._pass_through(case)
+
+        target = self._pick_target(case)
+        if target is None:
+            return self._lost(case, self._loss_note(case))
+
+        # Re-check both constraints with the target way gated off.
+        remaining_delay_ok = all(
+            case.constraints.meets_delay(way.delay)
+            for way in case.circuit.ways
+            if way.way != target
+        )
+        leakage_ok = case.constraints.meets_leakage(
+            case.leakage_after_disabling_way(target)
+        )
+        if not (remaining_delay_ok and leakage_ok):
+            return self._lost(case, self._loss_note(case))
+
+        way_cycles = tuple(
+            None if w == target else BASE_ACCESS_CYCLES
+            for w in range(case.circuit.num_ways)
+        )
+        return RescueOutcome(
+            scheme=self.name,
+            saved=True,
+            configuration=case.configuration,
+            disabled_way=target,
+            way_cycles=way_cycles,
+            note=f"disabled way {target}",
+        )
+
+    # ------------------------------------------------------------------
+    def _pick_target(self, case: ChipCase) -> Optional[int]:
+        """Choose the single way to gate off, or None when impossible."""
+        violators = case.delay_violating_ways
+        if len(violators) > 1:
+            return None
+        if violators:
+            # A single slow way: it must go. If leakage is also violated,
+            # the subsequent feasibility check decides whether removing
+            # this way suffices.
+            return violators[0]
+        # Leakage-only violation: remove the leakiest way.
+        return case.max_leakage_way()
+
+    def _loss_note(self, case: ChipCase) -> str:
+        violators = case.delay_violating_ways
+        if len(violators) > 1:
+            return f"{len(violators)} ways violate delay; only one may be disabled"
+        if case.leakage_violation:
+            return "leakage remains above limit after disabling one way"
+        return "constraints unmet after disabling one way"

@@ -1,0 +1,51 @@
+"""Process-variation modelling (paper Sections 2 and 3).
+
+The paper models five sources of parametric variation — gate length, device
+threshold voltage, metal line width, metal thickness, and inter-layer
+dielectric thickness — with the nominal and 3-sigma values of its Table 1,
+and correlates them spatially using per-level correlation factors derived
+from Friedberg et al. This subpackage reproduces that machinery:
+
+* :mod:`repro.variation.parameters` — the parameter vector and Table 1.
+* :mod:`repro.variation.spatial` — correlation factors and the 2x2 way mesh.
+* :mod:`repro.variation.sampling` — hierarchical correlated sampling of a
+  full cache (die -> way -> peripheral/array-band segments).
+* :mod:`repro.variation.montecarlo` — population-level Monte Carlo driver.
+"""
+
+from repro.variation.parameters import (
+    PARAMETER_NAMES,
+    ParameterSpec,
+    ProcessParameters,
+    VariationTable,
+    TABLE1,
+)
+from repro.variation.spatial import (
+    CorrelationFactors,
+    MeshLayout,
+    PAPER_FACTORS,
+)
+from repro.variation.sampling import (
+    CacheVariationMap,
+    CacheVariationSampler,
+    WayVariation,
+)
+from repro.variation.montecarlo import MonteCarloEngine
+from repro.variation.gridmodel import GridCorrelationModel, GridVariationSampler
+
+__all__ = [
+    "PARAMETER_NAMES",
+    "ParameterSpec",
+    "ProcessParameters",
+    "VariationTable",
+    "TABLE1",
+    "CorrelationFactors",
+    "MeshLayout",
+    "PAPER_FACTORS",
+    "CacheVariationMap",
+    "CacheVariationSampler",
+    "WayVariation",
+    "MonteCarloEngine",
+    "GridCorrelationModel",
+    "GridVariationSampler",
+]

@@ -1,0 +1,300 @@
+"""Hierarchical correlated sampling of one cache's process parameters.
+
+The sampler reproduces the paper's Section 3 procedure at *segment*
+granularity. Modelling every one of the ~128K bits individually is neither
+necessary nor what drives the paper's results (the bit factor is 0.01, i.e.
+bits track their row almost exactly); what matters is the die, way, and
+row-band structure. Accordingly one cache sample consists of:
+
+* a die-level parameter vector drawn from Table 1,
+* a shared horizontal-band offset per band index (Section 4.2 premise),
+* a way-level vector per way, drawn around the die value with the 2x2-mesh
+  correlation factors,
+* per-way peripheral segment vectors (decoder, precharge, sense amplifiers,
+  output driver), drawn around the way value with the row factor,
+* per-(way, band) array segment vectors, drawn around the way value plus
+  the band offset with the row factor.
+
+The circuit model consumes this map to produce per-path delays and per-way
+leakage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.errors import ConfigurationError
+from repro.core.rng import spawn
+from repro.core.validation import require_positive
+from repro.variation.parameters import (
+    PARAMETER_NAMES,
+    ProcessParameters,
+    VariationTable,
+    TABLE1,
+)
+from repro.variation.spatial import CorrelationFactors, MeshLayout, PAPER_FACTORS
+
+__all__ = ["WayVariation", "CacheVariationMap", "CacheVariationSampler"]
+
+#: Peripheral segments modelled per way.
+PERIPHERAL_SEGMENTS: Tuple[str, ...] = (
+    "decoder",
+    "precharge",
+    "senseamp",
+    "outdriver",
+)
+
+
+@dataclass(frozen=True)
+class WayVariation:
+    """Sampled parameters for one cache way.
+
+    Attributes
+    ----------
+    way:
+        Way index.
+    params:
+        The way-level mean vector (around which segments were drawn).
+    decoder, precharge, senseamp, outdriver:
+        Peripheral segment vectors.
+    bands:
+        Array segment vectors, one per horizontal band (index 0 is the band
+        physically closest to the sense amplifiers).
+    band_residuals:
+        Multiplicative residual on each band's critical-path delay
+        (unit mean, lognormal). This absorbs within-segment variability the
+        five-parameter segment model cannot express — random-dopant
+        worst-cell extremes along the accessed column, sense offset, and
+        coupling-noise alignment — and is calibrated so the incidence of
+        severely slow single ways matches the population the paper
+        observes (its 6-or-more-cycle ways). Empty means "no residual".
+    """
+
+    way: int
+    params: ProcessParameters
+    decoder: ProcessParameters
+    precharge: ProcessParameters
+    senseamp: ProcessParameters
+    outdriver: ProcessParameters
+    bands: Tuple[ProcessParameters, ...]
+    band_residuals: Tuple[float, ...] = ()
+
+    def band_residual(self, band: int) -> float:
+        """Residual delay multiplier of ``band`` (1.0 when not sampled)."""
+        if not self.band_residuals:
+            return 1.0
+        return self.band_residuals[band]
+
+    def peripheral(self, name: str) -> ProcessParameters:
+        """Return the peripheral segment vector called ``name``."""
+        if name not in PERIPHERAL_SEGMENTS:
+            raise ConfigurationError(f"unknown peripheral segment {name!r}")
+        return getattr(self, name)
+
+
+@dataclass(frozen=True)
+class CacheVariationMap:
+    """All sampled process parameters for one manufactured cache."""
+
+    chip_id: int
+    die: ProcessParameters
+    ways: Tuple[WayVariation, ...]
+
+    @property
+    def num_ways(self) -> int:
+        return len(self.ways)
+
+    @property
+    def num_bands(self) -> int:
+        return len(self.ways[0].bands)
+
+    def band_vectors(self, band: int) -> Tuple[ProcessParameters, ...]:
+        """The array segment vectors of horizontal band ``band`` in every way."""
+        if not 0 <= band < self.num_bands:
+            raise ConfigurationError(f"band {band} out of range")
+        return tuple(way.bands[band] for way in self.ways)
+
+
+class CacheVariationSampler:
+    """Draws :class:`CacheVariationMap` instances.
+
+    Parameters
+    ----------
+    table:
+        The variation table (defaults to the paper's Table 1).
+    factors:
+        Hierarchical correlation factors (defaults to the paper's).
+    mesh:
+        Physical placement of ways (defaults to the paper's 2x2 mesh).
+    num_ways:
+        Cache associativity; must fit on the mesh.
+    num_bands:
+        Number of horizontal bands per way (H-YAPD power-down granularity).
+    clip_sigma:
+        Draws are clipped to the die mean +/- ``clip_sigma`` Table 1 sigmas
+        and to a small positive floor, so extreme tails cannot produce
+        non-physical (e.g. negative-width) devices.
+    path_residual_sigma:
+        Lognormal sigma of the per-(way, band) critical-path delay
+        residual (see :class:`WayVariation.band_residuals`). Zero disables
+        residual sampling.
+    outlier_band_prob:
+        Probability that a given (way, band) carries a *spot parametric
+        outlier* — a resistive via/contact or extreme local excursion that
+        slows that band's path substantially without killing functionality.
+        These produce the isolated severely-slow ways the paper observes
+        (its 6-or-more-cycle ways, e.g. the 3-0-1 configuration of
+        Table 6). Zero disables outliers.
+    outlier_scale_range:
+        (low, high) of the uniform delay multiplier applied by an outlier.
+    """
+
+    #: Parameters may never fall below this fraction of nominal.
+    _FLOOR_FRACTION = 0.10
+
+    def __init__(
+        self,
+        table: VariationTable = TABLE1,
+        factors: CorrelationFactors = PAPER_FACTORS,
+        mesh: Optional[MeshLayout] = None,
+        num_ways: int = 4,
+        num_bands: int = 4,
+        clip_sigma: float = 3.0,
+        path_residual_sigma: float = 0.22,
+        outlier_band_prob: float = 0.035,
+        outlier_scale_range: Tuple[float, float] = (1.10, 2.10),
+    ) -> None:
+        require_positive(num_ways, "num_ways")
+        require_positive(num_bands, "num_bands")
+        require_positive(clip_sigma, "clip_sigma")
+        if path_residual_sigma < 0:
+            raise ConfigurationError("path_residual_sigma must be >= 0")
+        if not 0.0 <= outlier_band_prob < 1.0:
+            raise ConfigurationError("outlier_band_prob must be in [0, 1)")
+        if outlier_scale_range[0] < 1.0 or outlier_scale_range[1] < outlier_scale_range[0]:
+            raise ConfigurationError(
+                "outlier_scale_range must satisfy 1.0 <= low <= high"
+            )
+        self.path_residual_sigma = path_residual_sigma
+        self.outlier_band_prob = outlier_band_prob
+        self.outlier_scale_range = outlier_scale_range
+        self.table = table
+        self.factors = factors
+        self.mesh = mesh if mesh is not None else MeshLayout()
+        if num_ways > self.mesh.capacity:
+            raise ConfigurationError(
+                f"{num_ways} ways do not fit on a "
+                f"{self.mesh.rows}x{self.mesh.cols} mesh"
+            )
+        self.num_ways = num_ways
+        self.num_bands = num_bands
+        self.clip_sigma = clip_sigma
+        self._sigmas = table.sigmas()
+        self._nominal = table.nominal()
+
+    # ------------------------------------------------------------------
+    # drawing helpers
+    # ------------------------------------------------------------------
+    def _clip(self, name: str, value: float) -> float:
+        nominal = getattr(self._nominal, name)
+        sigma = self._sigmas[name]
+        low = max(nominal - self.clip_sigma * sigma, nominal * self._FLOOR_FRACTION)
+        high = nominal + self.clip_sigma * sigma
+        return min(max(value, low), high)
+
+    def _draw_around(
+        self,
+        mean: ProcessParameters,
+        factor: float,
+        rng: np.random.Generator,
+        offsets: Optional[Dict[str, float]] = None,
+    ) -> ProcessParameters:
+        """Draw a vector around ``mean`` with sigma scaled by ``factor``.
+
+        ``offsets`` (absolute, per parameter) are added to the mean before
+        drawing; this is how the shared band component enters.
+        """
+        values = {}
+        for name in PARAMETER_NAMES:
+            centre = getattr(mean, name)
+            if offsets is not None:
+                centre += offsets.get(name, 0.0)
+            sigma = self._sigmas[name] * factor
+            value = centre if sigma == 0.0 else rng.normal(centre, sigma)
+            values[name] = self._clip(name, value)
+        return ProcessParameters(**values)
+
+    def _draw_offsets(
+        self, factor: float, rng: np.random.Generator
+    ) -> Dict[str, float]:
+        """Draw zero-mean absolute offsets with sigma scaled by ``factor``."""
+        if factor == 0.0:
+            return {name: 0.0 for name in PARAMETER_NAMES}
+        return {
+            name: float(rng.normal(0.0, self._sigmas[name] * factor))
+            for name in PARAMETER_NAMES
+        }
+
+    def _draw_residuals(self, rng: np.random.Generator) -> Tuple[float, ...]:
+        """Per-band delay residuals: lognormal core plus rare spot outliers."""
+        if self.path_residual_sigma <= 0 and self.outlier_band_prob <= 0:
+            return ()
+        sigma = self.path_residual_sigma
+        residuals = []
+        for _ in range(self.num_bands):
+            value = 1.0
+            if sigma > 0:
+                value = float(rng.lognormal(-0.5 * sigma * sigma, sigma))
+            if self.outlier_band_prob > 0 and rng.uniform() < self.outlier_band_prob:
+                low, high = self.outlier_scale_range
+                value *= float(rng.uniform(low, high))
+            residuals.append(value)
+        return tuple(residuals)
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def sample(self, rng: np.random.Generator, chip_id: int = 0) -> CacheVariationMap:
+        """Draw one cache's full variation map using ``rng``."""
+        die = self._draw_around(self._nominal, self.factors.inter_die, rng)
+        band_offsets = [
+            self._draw_offsets(self.factors.band, rng) for _ in range(self.num_bands)
+        ]
+        ways = []
+        for way in range(self.num_ways):
+            way_factor = self.factors.way_factor(way, self.mesh)
+            way_params = self._draw_around(die, way_factor, rng)
+            peripherals = {
+                name: self._draw_around(way_params, self.factors.row, rng)
+                for name in PERIPHERAL_SEGMENTS
+            }
+            bands = tuple(
+                self._draw_around(
+                    way_params, self.factors.row, rng, offsets=band_offsets[band]
+                )
+                for band in range(self.num_bands)
+            )
+            residuals = self._draw_residuals(rng)
+            ways.append(
+                WayVariation(
+                    way=way,
+                    params=way_params,
+                    bands=bands,
+                    band_residuals=residuals,
+                    **peripherals,
+                )
+            )
+        return CacheVariationMap(chip_id=chip_id, die=die, ways=tuple(ways))
+
+    def sample_chip(self, seed: int, chip_id: int) -> CacheVariationMap:
+        """Draw the variation map of chip ``chip_id`` under experiment ``seed``.
+
+        Each chip gets an independent generator derived from the seed and
+        its id, so populations are stable under reordering and can be
+        sampled in parallel.
+        """
+        rng = spawn(seed, f"chip-{chip_id}")
+        return self.sample(rng, chip_id=chip_id)

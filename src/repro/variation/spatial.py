@@ -1,0 +1,170 @@
+"""Spatial-correlation model (paper Section 3).
+
+The paper correlates intra-die variation hierarchically using *correlation
+factors*: once a parent entity's parameters are drawn, each child entity is
+drawn with the parent value as its mean and the Table 1 sigma scaled by the
+child's factor. A *smaller* factor therefore means the child tracks its
+parent more tightly (the paper notes this is the opposite convention to a
+correlation coefficient).
+
+Factors used by the paper, reproduced in :data:`PAPER_FACTORS`:
+
+* bit within a cache block: 0.01
+* row within a bank: 0.05
+* ways laid out on a 2x2 mesh relative to way 0:
+  vertical neighbour 0.45, horizontal neighbour 0.375, diagonal 0.7125.
+
+In addition we model a *horizontal band* component shared by the same row
+band across all ways. This operationalises the paper's Section 4.2
+observation that the same physical row region of different ways reacts
+similarly to a given set of variation parameters (the premise that makes
+H-YAPD effective); the band factor controls how strongly aligned those
+regions are.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.core.errors import ConfigurationError
+from repro.core.validation import require_in_range, require_non_negative
+
+__all__ = ["CorrelationFactors", "MeshLayout", "PAPER_FACTORS"]
+
+
+@dataclass(frozen=True)
+class MeshLayout:
+    """Physical placement of cache ways on a rectangular mesh.
+
+    The paper assumes the four ways of the 16 KB cache sit on a 2x2 mesh
+    with way 0 as the reference corner. ``position(way)`` returns the
+    (row, column) of a way in row-major order.
+    """
+
+    rows: int = 2
+    cols: int = 2
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1:
+            raise ConfigurationError("mesh must have at least one cell")
+
+    @property
+    def capacity(self) -> int:
+        """Number of mesh cells (maximum number of ways placed)."""
+        return self.rows * self.cols
+
+    def position(self, way: int) -> Tuple[int, int]:
+        """Return the (row, column) placement of ``way``."""
+        if not 0 <= way < self.capacity:
+            raise ConfigurationError(
+                f"way {way} does not fit on a {self.rows}x{self.cols} mesh"
+            )
+        return divmod(way, self.cols)
+
+    def relation_to_origin(self, way: int) -> str:
+        """Classify a way's placement relative to way 0.
+
+        Returns one of ``"origin"``, ``"horizontal"``, ``"vertical"`` or
+        ``"diagonal"``.
+        """
+        row, col = self.position(way)
+        if row == 0 and col == 0:
+            return "origin"
+        if row == 0:
+            return "horizontal"
+        if col == 0:
+            return "vertical"
+        return "diagonal"
+
+
+@dataclass(frozen=True)
+class CorrelationFactors:
+    """The per-level correlation factors of the hierarchical sampler.
+
+    Attributes
+    ----------
+    bit:
+        Factor for a bit within a cache block (paper: 0.01).
+    row:
+        Factor for a row (and, in our segment-granularity model, for any
+        sub-way segment such as a decoder or an array band) (paper: 0.05).
+    way_horizontal, way_vertical, way_diagonal:
+        Factors for ways placed on the 2x2 mesh relative to way 0
+        (paper: 0.375, 0.45, 0.7125).
+    band:
+        Factor of the horizontal-band component shared by the same row band
+        across all ways (our modelling of the paper's Section 4.2 premise;
+        see the module docstring). Setting it to 0 decorrelates bands from
+        each other entirely, which the correlation ablation experiment uses
+        to show H-YAPD's advantage disappearing.
+    inter_die:
+        Scale of the die-level (inter-die) draw relative to Table 1's
+        sigma. The paper draws die parameters directly from the Table 1
+        ranges, i.e. factor 1.0.
+    """
+
+    bit: float = 0.01
+    row: float = 0.05
+    way_horizontal: float = 0.375
+    way_vertical: float = 0.45
+    way_diagonal: float = 0.7125
+    band: float = 1.30
+    inter_die: float = 0.90
+
+    def __post_init__(self) -> None:
+        for name in (
+            "bit",
+            "row",
+            "way_horizontal",
+            "way_vertical",
+            "way_diagonal",
+            "band",
+        ):
+            require_non_negative(getattr(self, name), name)
+            require_in_range(getattr(self, name), 0.0, 2.0, name)
+        require_non_negative(self.inter_die, "inter_die")
+
+    def way_factor(self, way: int, mesh: MeshLayout) -> float:
+        """Correlation factor of ``way`` relative to way 0 on ``mesh``."""
+        relation = mesh.relation_to_origin(way)
+        if relation == "origin":
+            return 0.0
+        if relation == "horizontal":
+            return self.way_horizontal
+        if relation == "vertical":
+            return self.way_vertical
+        return self.way_diagonal
+
+    def scaled_ways(self, factor: float) -> "CorrelationFactors":
+        """Return a copy with all way-level factors scaled by ``factor``.
+
+        Larger way factors mean *less* correlation between ways (the
+        paper's convention); the correlation ablation sweeps this.
+        """
+        require_non_negative(factor, "factor")
+        return CorrelationFactors(
+            bit=self.bit,
+            row=self.row,
+            way_horizontal=self.way_horizontal * factor,
+            way_vertical=self.way_vertical * factor,
+            way_diagonal=self.way_diagonal * factor,
+            band=self.band,
+            inter_die=self.inter_die,
+        )
+
+    def with_band(self, band: float) -> "CorrelationFactors":
+        """Return a copy with the band factor replaced."""
+        return CorrelationFactors(
+            bit=self.bit,
+            row=self.row,
+            way_horizontal=self.way_horizontal,
+            way_vertical=self.way_vertical,
+            way_diagonal=self.way_diagonal,
+            band=band,
+            inter_die=self.inter_die,
+        )
+
+
+#: The factors reported in the paper's Section 3 (plus our band component).
+PAPER_FACTORS = CorrelationFactors()

@@ -1,0 +1,293 @@
+"""Population yield analysis (paper Section 5.1, Tables 2-5, Figure 8).
+
+:class:`YieldStudy` runs the full pipeline once per experiment seed:
+
+1. draw ``count`` manufactured caches (Monte Carlo over the correlated
+   process parameters),
+2. evaluate each with the regular-organisation circuit model *and* the
+   H-YAPD-organisation model (same variation map — the paper applies the
+   same process parameters to both architectures),
+3. derive the delay/leakage limits from the regular population with the
+   chosen constraint policy (the delay limit is a design constraint, so
+   the H-YAPD architecture is held to the same absolute limits),
+4. classify every chip and apply any number of schemes.
+
+The result object knows how to produce the paper's loss-breakdown tables
+(Tables 2/3), the relaxed/strict totals (Tables 4/5), the Figure 8
+scatter, and the Table 6 configuration census.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+from repro.circuit.cache_model import CacheCircuitModel
+from repro.circuit.organization import CacheOrganization, PAPER_ORGANIZATION
+from repro.circuit.technology import Technology, TECH45
+from repro.core.validation import require_positive
+from repro.variation.montecarlo import MonteCarloEngine, PAPER_POPULATION
+from repro.variation.sampling import CacheVariationSampler
+from repro.yieldmodel.classify import ChipCase, LossReason
+from repro.yieldmodel.constraints import (
+    ConstraintPolicy,
+    NOMINAL_POLICY,
+    YieldConstraints,
+)
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
+    from repro.schemes.base import RescueOutcome, Scheme
+
+__all__ = ["LossBreakdown", "PopulationResult", "YieldStudy"]
+
+#: Order in which loss reasons appear in the paper's tables. The 5-8 way
+#: buckets only occur for higher-associativity organisations; rows() hides
+#: them when empty so the paper's 4-way tables keep the paper's shape.
+LOSS_ROW_ORDER: Tuple[LossReason, ...] = (
+    LossReason.LEAKAGE,
+    LossReason.DELAY_1,
+    LossReason.DELAY_2,
+    LossReason.DELAY_3,
+    LossReason.DELAY_4,
+    LossReason.DELAY_5,
+    LossReason.DELAY_6,
+    LossReason.DELAY_7,
+    LossReason.DELAY_8,
+)
+
+#: Rows always shown, even when zero (the paper's table shape).
+_CANONICAL_ROWS = LOSS_ROW_ORDER[:5]
+
+
+@dataclass
+class LossBreakdown:
+    """One scheme-comparison table (the shape of the paper's Tables 2/3).
+
+    Attributes
+    ----------
+    base_counts:
+        Failing chips per loss reason before any scheme.
+    scheme_losses:
+        Residual losses per scheme name, per loss reason.
+    population:
+        Total number of chips simulated.
+    """
+
+    base_counts: Dict[LossReason, int]
+    scheme_losses: Dict[str, Dict[LossReason, int]]
+    population: int
+
+    @property
+    def base_total(self) -> int:
+        """Total failing chips before any scheme."""
+        return sum(self.base_counts.values())
+
+    def scheme_total(self, scheme: str) -> int:
+        """Total residual losses of ``scheme``."""
+        return sum(self.scheme_losses[scheme].values())
+
+    def loss_reduction(self, scheme: str) -> float:
+        """Fractional reduction in yield loss achieved by ``scheme``."""
+        base = self.base_total
+        if base == 0:
+            return 0.0
+        return 1.0 - self.scheme_total(scheme) / base
+
+    def yield_with(self, scheme: Optional[str] = None) -> float:
+        """Overall yield, optionally after applying ``scheme``."""
+        losses = self.base_total if scheme is None else self.scheme_total(scheme)
+        return 1.0 - losses / self.population
+
+    def rows(self) -> List[Tuple[LossReason, int, Dict[str, int]]]:
+        """Table rows: (reason, base count, per-scheme residual losses).
+
+        The paper's five rows always appear; the extra high-associativity
+        buckets appear only when populated.
+        """
+        out = []
+        for reason in LOSS_ROW_ORDER:
+            base = self.base_counts.get(reason, 0)
+            if base == 0 and reason not in _CANONICAL_ROWS:
+                continue
+            out.append(
+                (
+                    reason,
+                    base,
+                    {
+                        name: losses.get(reason, 0)
+                        for name, losses in self.scheme_losses.items()
+                    },
+                )
+            )
+        return out
+
+
+@dataclass
+class PopulationResult:
+    """All per-chip cases of one Monte Carlo population."""
+
+    constraints: YieldConstraints
+    cases: List[ChipCase]
+    h_cases: List[ChipCase]
+    policy: ConstraintPolicy = NOMINAL_POLICY
+
+    @property
+    def population(self) -> int:
+        return len(self.cases)
+
+    def select(self, horizontal: bool) -> List[ChipCase]:
+        """The regular- or H-YAPD-architecture cases."""
+        return self.h_cases if horizontal else self.cases
+
+    def reconstrained(self, policy: ConstraintPolicy) -> "PopulationResult":
+        """Re-derive limits under another policy over the *same* chips.
+
+        Tables 4 and 5 change the constraints without re-manufacturing
+        the population; limits are always derived from the regular
+        architecture's delays (the design constraint both architectures
+        are held to).
+        """
+        constraints = policy.derive(
+            [case.circuit.access_delay for case in self.cases],
+            [case.circuit.total_leakage for case in self.cases],
+        )
+        return PopulationResult(
+            constraints=constraints,
+            cases=[
+                ChipCase(circuit=case.circuit, constraints=constraints)
+                for case in self.cases
+            ],
+            h_cases=[
+                ChipCase(circuit=case.circuit, constraints=constraints)
+                for case in self.h_cases
+            ],
+            policy=policy,
+        )
+
+    # ------------------------------------------------------------------
+    def apply_scheme(
+        self, scheme: "Scheme", horizontal: bool = False
+    ) -> List["RescueOutcome"]:
+        """Run ``scheme`` over every chip of the chosen architecture."""
+        return [scheme.rescue(case) for case in self.select(horizontal)]
+
+    def breakdown(
+        self,
+        schemes: Sequence["Scheme"],
+        horizontal: bool = False,
+    ) -> LossBreakdown:
+        """Build a Tables 2/3-style loss breakdown for ``schemes``."""
+        cases = self.select(horizontal)
+        base_counts: Dict[LossReason, int] = {}
+        for case in cases:
+            reason = case.loss_reason
+            if reason.is_loss:
+                base_counts[reason] = base_counts.get(reason, 0) + 1
+
+        scheme_losses: Dict[str, Dict[LossReason, int]] = {}
+        for scheme in schemes:
+            losses: Dict[LossReason, int] = {}
+            for case in cases:
+                reason = case.loss_reason
+                if not reason.is_loss:
+                    continue
+                if not scheme.rescue(case).saved:
+                    losses[reason] = losses.get(reason, 0) + 1
+            scheme_losses[scheme.name] = losses
+        return LossBreakdown(
+            base_counts=base_counts,
+            scheme_losses=scheme_losses,
+            population=len(cases),
+        )
+
+    def configuration_census(
+        self, scheme: "Scheme", horizontal: bool = False
+    ) -> Dict[str, int]:
+        """Count saved-from-loss chips per Table 6 configuration key.
+
+        Only chips converted from yield loss to yield gain are counted
+        (chips that pass outright never engage a scheme).
+        """
+        census: Dict[str, int] = {}
+        for case in self.select(horizontal):
+            if case.passes:
+                continue
+            outcome = scheme.rescue(case)
+            if outcome.saved:
+                census[outcome.configuration] = (
+                    census.get(outcome.configuration, 0) + 1
+                )
+        return census
+
+    def scatter(
+        self, horizontal: bool = False
+    ) -> Tuple[List[float], List[float]]:
+        """Figure 8 data: (normalized leakage, access delay in seconds).
+
+        Leakage is normalized to the population average, matching the
+        paper's "normalized leakage power" axis.
+        """
+        cases = self.select(horizontal)
+        leakages = [case.circuit.total_leakage for case in cases]
+        mean = sum(leakages) / len(leakages)
+        delays = [case.circuit.access_delay for case in cases]
+        return [leak / mean for leak in leakages], delays
+
+
+@dataclass
+class YieldStudy:
+    """End-to-end Monte Carlo yield study.
+
+    Parameters
+    ----------
+    seed:
+        Experiment seed (chips are reproducible per seed).
+    count:
+        Population size (the paper uses 2000).
+    policy:
+        Constraint policy used to derive limits from the population.
+    tech, organization:
+        Circuit model inputs.
+    sampler:
+        Variation sampler; defaults to the paper's Table 1 / correlation
+        factor configuration.
+    """
+
+    seed: int = 2006
+    count: int = PAPER_POPULATION
+    policy: ConstraintPolicy = NOMINAL_POLICY
+    tech: Technology = TECH45
+    organization: CacheOrganization = PAPER_ORGANIZATION
+    sampler: CacheVariationSampler = field(default_factory=CacheVariationSampler)
+
+    def __post_init__(self) -> None:
+        require_positive(self.count, "count")
+
+    def run(self) -> PopulationResult:
+        """Sample, evaluate both architectures, derive limits, classify."""
+        regular_model = CacheCircuitModel(
+            tech=self.tech, org=self.organization, hyapd=False
+        )
+        hyapd_model = CacheCircuitModel(
+            tech=self.tech, org=self.organization, hyapd=True
+        )
+        engine = MonteCarloEngine(self.sampler, seed=self.seed)
+
+        regular = []
+        horizontal = []
+        for cvmap in engine.chips(self.count):
+            regular.append(regular_model.evaluate(cvmap))
+            horizontal.append(hyapd_model.evaluate(cvmap))
+
+        constraints = self.policy.derive(
+            [r.access_delay for r in regular],
+            [r.total_leakage for r in regular],
+        )
+        return PopulationResult(
+            constraints=constraints,
+            cases=[ChipCase(circuit=r, constraints=constraints) for r in regular],
+            h_cases=[
+                ChipCase(circuit=h, constraints=constraints) for h in horizontal
+            ],
+            policy=self.policy,
+        )

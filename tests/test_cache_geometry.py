@@ -1,0 +1,91 @@
+"""Tests for cache geometry arithmetic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cache import CacheGeometry
+from repro.core import units
+from repro.core.errors import ConfigurationError
+
+
+L1D = CacheGeometry(16 * units.KB, 4, 32)
+L1I = CacheGeometry(16 * units.KB, 4, 64)
+L2 = CacheGeometry(512 * units.KB, 8, 128)
+
+
+class TestDerivedCounts:
+    def test_l1d_sets(self):
+        assert L1D.num_sets == 128
+
+    def test_l1i_sets(self):
+        assert L1I.num_sets == 64
+
+    def test_l2_sets(self):
+        assert L2.num_sets == 512
+
+    def test_num_blocks(self):
+        assert L1D.num_blocks == 512
+
+    def test_describe(self):
+        assert L1D.describe() == "16KB/4-way/32B (128 sets)"
+
+
+class TestAddressMapping:
+    def test_block_address_strips_offset(self):
+        assert L1D.block_address(0x1000) == L1D.block_address(0x101F)
+        assert L1D.block_address(0x1000) != L1D.block_address(0x1020)
+
+    def test_set_index_wraps(self):
+        assert L1D.set_index(0x0) == 0
+        assert L1D.set_index(128 * 32) == 0  # one full stride later
+        assert L1D.set_index(32) == 1
+
+    def test_tag_distinguishes_aliases(self):
+        a = 0x0
+        b = 128 * 32  # same set, different tag
+        assert L1D.set_index(a) == L1D.set_index(b)
+        assert L1D.tag(a) != L1D.tag(b)
+
+    @given(st.integers(min_value=0, max_value=2**40))
+    def test_mapping_consistency(self, address):
+        """set/tag reconstruct the block address."""
+        block = L1D.block_address(address)
+        set_index = L1D.set_index(address)
+        tag = L1D.tag(address)
+        set_bits = L1D.num_sets.bit_length() - 1
+        assert (tag << set_bits) | set_index == block
+
+
+class TestHYAPDGroups:
+    def test_four_groups_partition_sets(self):
+        groups = [L1D.address_group(s, 4) for s in range(L1D.num_sets)]
+        assert set(groups) == {0, 1, 2, 3}
+        # contiguous ranges of equal size
+        assert groups == sorted(groups)
+        assert groups.count(0) == L1D.num_sets // 4
+
+    def test_group_boundaries(self):
+        per_group = L1D.num_sets // 4
+        assert L1D.address_group(per_group - 1, 4) == 0
+        assert L1D.address_group(per_group, 4) == 1
+
+    def test_single_group(self):
+        assert L1D.address_group(77, 1) == 0
+
+    def test_rejects_bad_group_count(self):
+        with pytest.raises(ConfigurationError):
+            L1D.address_group(0, 0)
+
+
+class TestValidation:
+    def test_rejects_non_power_of_two_capacity(self):
+        with pytest.raises(ConfigurationError):
+            CacheGeometry(15 * 1024, 4, 32)
+
+    def test_rejects_non_power_of_two_block(self):
+        with pytest.raises(ConfigurationError):
+            CacheGeometry(16 * 1024, 4, 48)
+
+    def test_rejects_capacity_not_divisible(self):
+        with pytest.raises(ConfigurationError):
+            CacheGeometry(16 * 1024, 3, 32)  # 16K/(3*32) not a power of 2

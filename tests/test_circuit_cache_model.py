@@ -1,0 +1,215 @@
+"""Tests for the whole-cache circuit model and its organisation."""
+
+import pytest
+
+from repro.circuit import (
+    CacheCircuitModel,
+    CacheOrganization,
+    PAPER_ORGANIZATION,
+    TECH45,
+)
+from repro.circuit.decoder import decoder_delay
+from repro.circuit.paths import access_path_delay
+from repro.circuit.sram import bitline_delay, cell_leakage, senseamp_delay
+from repro.core import units
+from repro.core.errors import ConfigurationError
+from repro.variation.parameters import TABLE1
+from repro.variation.sampling import CacheVariationSampler
+
+NOMINAL = TABLE1.nominal()
+
+
+class TestOrganization:
+    """Pin the paper's Section 3 cache organisation."""
+
+    def test_capacity_is_16KB(self):
+        assert PAPER_ORGANIZATION.capacity_bytes == 16 * units.KB
+
+    def test_paper_structure(self):
+        org = PAPER_ORGANIZATION
+        assert org.num_ways == 4
+        assert org.banks_per_way == 4
+        assert org.rows_per_bank == 64
+        assert org.cols_per_bank == 128
+        assert org.bitline_segments == 2
+        assert org.block_bytes == 32
+
+    def test_bitline_segment_rows(self):
+        assert PAPER_ORGANIZATION.rows_per_segment == 32
+
+    def test_bands_equal_banks(self):
+        assert PAPER_ORGANIZATION.num_bands == 4
+
+    def test_global_wire_length_grows_with_band(self):
+        org = PAPER_ORGANIZATION
+        lengths = [
+            org.global_wire_length(b, TECH45.cell_height)
+            for b in range(org.num_bands)
+        ]
+        assert lengths == sorted(lengths)
+        assert lengths[3] > lengths[0]
+
+    def test_global_wire_rejects_bad_band(self):
+        with pytest.raises(ValueError):
+            PAPER_ORGANIZATION.global_wire_length(4, TECH45.cell_height)
+
+    def test_invalid_organisation(self):
+        with pytest.raises(ConfigurationError):
+            CacheOrganization(rows_per_bank=63)
+        with pytest.raises(ConfigurationError):
+            CacheOrganization(bitline_segments=3)
+
+
+class TestStageModels:
+    def test_decoder_delay_positive(self):
+        assert decoder_delay(NOMINAL, TECH45) > 0
+
+    def test_bitline_delay_positive(self):
+        assert bitline_delay(NOMINAL, TECH45, PAPER_ORGANIZATION) > 0
+
+    def test_senseamp_delay_positive(self):
+        assert senseamp_delay(NOMINAL, TECH45) > 0
+
+    def test_cell_leakage_magnitude(self):
+        """A low-Vt 45 nm cell leaks tens of nA."""
+        leak = cell_leakage(NOMINAL, TECH45)
+        assert 1e-9 < leak < 1e-6
+
+
+class TestNominalModel:
+    def test_nominal_delay_plausible(self):
+        model = CacheCircuitModel()
+        delay = model.nominal().access_delay
+        assert 200 * units.PS < delay < 2 * units.NS
+
+    def test_nominal_symmetric_across_ways(self):
+        nominal = CacheCircuitModel().nominal()
+        delays = nominal.way_delays
+        assert all(d == pytest.approx(delays[0]) for d in delays)
+
+    def test_far_band_is_critical(self):
+        """With uniform parameters the farthest bank's path is slowest."""
+        way = CacheCircuitModel().nominal().ways[0]
+        assert way.critical_band() == PAPER_ORGANIZATION.num_bands - 1
+        assert list(way.band_delays) == sorted(way.band_delays)
+
+    def test_nominal_leakage_plausible(self):
+        """A 16 KB low-Vt L1 leaks milliwatts at 45 nm."""
+        leak = CacheCircuitModel().nominal().total_leakage
+        assert 1e-3 < leak < 1.0
+
+    def test_peripheral_fraction_small(self):
+        nominal = CacheCircuitModel().nominal()
+        fraction = nominal.total_peripheral_leakage() / nominal.total_leakage
+        assert 0.02 < fraction < 0.20
+
+    def test_hyapd_overhead_exact(self):
+        regular = CacheCircuitModel(hyapd=False).nominal().access_delay
+        horizontal = CacheCircuitModel(hyapd=True).nominal().access_delay
+        assert horizontal / regular == pytest.approx(
+            1 + TECH45.hyapd_delay_overhead
+        )
+
+    def test_hyapd_leakage_unchanged(self):
+        regular = CacheCircuitModel(hyapd=False).nominal().total_leakage
+        horizontal = CacheCircuitModel(hyapd=True).nominal().total_leakage
+        assert horizontal == pytest.approx(regular)
+
+
+class TestEvaluatedChips:
+    def test_evaluate_shape(self):
+        sampler = CacheVariationSampler()
+        model = CacheCircuitModel()
+        result = model.evaluate(sampler.sample_chip(seed=1, chip_id=0))
+        assert result.num_ways == 4
+        assert result.num_bands == 4
+        assert result.access_delay == max(result.way_delays)
+        assert result.total_leakage == pytest.approx(sum(result.way_leakages))
+
+    def test_evaluate_deterministic(self):
+        sampler = CacheVariationSampler()
+        model = CacheCircuitModel()
+        cvmap = sampler.sample_chip(seed=1, chip_id=0)
+        assert model.evaluate(cvmap) == model.evaluate(cvmap)
+
+    def test_band_mismatch_rejected(self):
+        sampler = CacheVariationSampler(num_bands=2)
+        model = CacheCircuitModel()
+        with pytest.raises(ConfigurationError):
+            model.evaluate(sampler.sample_chip(seed=1, chip_id=0))
+
+    def test_delay_without_band_reduces(self):
+        sampler = CacheVariationSampler()
+        result = CacheCircuitModel().evaluate(sampler.sample_chip(seed=2, chip_id=3))
+        for way in result.ways:
+            critical = way.critical_band()
+            assert way.delay_without_band(critical) <= way.delay
+
+    def test_band_array_leakage_sums(self):
+        sampler = CacheVariationSampler()
+        result = CacheCircuitModel().evaluate(sampler.sample_chip(seed=2, chip_id=3))
+        total_bands = sum(
+            result.band_array_leakage(b) for b in range(result.num_bands)
+        )
+        array_total = sum(way.array_leakage for way in result.ways)
+        assert total_bands == pytest.approx(array_total)
+
+    def test_residuals_scale_delay(self):
+        sampler = CacheVariationSampler(
+            path_residual_sigma=0.0, outlier_band_prob=0.0
+        )
+        cvmap = sampler.sample_chip(seed=3, chip_id=0)
+        base = CacheCircuitModel().evaluate(cvmap)
+        boosted = cvmap.ways[0]
+        object.__setattr__(boosted, "band_residuals", (2.0, 1.0, 1.0, 1.0))
+        scaled = CacheCircuitModel().evaluate(cvmap)
+        assert scaled.ways[0].band_delays[0] == pytest.approx(
+            2 * base.ways[0].band_delays[0]
+        )
+        assert scaled.ways[0].band_delays[1] == pytest.approx(
+            base.ways[0].band_delays[1]
+        )
+
+
+class TestVariationSensitivity:
+    """The calibrated model reproduces the paper's cited magnitudes."""
+
+    def test_access_delay_spread(self):
+        """Paper Section 1 cites ~30% frequency variation; the calibrated
+        model's access-delay spread is of that order (sigma/mean within
+        10-60%, fat right tail)."""
+        import numpy as np
+
+        sampler = CacheVariationSampler()
+        model = CacheCircuitModel()
+        delays = [
+            model.evaluate(sampler.sample_chip(seed=4, chip_id=i)).access_delay
+            for i in range(300)
+        ]
+        ratio = float(np.std(delays) / np.mean(delays))
+        assert 0.10 < ratio < 0.60
+
+    def test_leakage_spread_is_wide(self):
+        """Leakage spans multiples of its mean (paper Figures 1/8)."""
+        import numpy as np
+
+        sampler = CacheVariationSampler()
+        model = CacheCircuitModel()
+        leaks = [
+            model.evaluate(sampler.sample_chip(seed=4, chip_id=i)).total_leakage
+            for i in range(300)
+        ]
+        assert max(leaks) / float(np.mean(leaks)) > 3.0
+
+    def test_leakage_delay_anticorrelation(self):
+        import numpy as np
+
+        sampler = CacheVariationSampler()
+        model = CacheCircuitModel()
+        delays, leaks = [], []
+        for i in range(200):
+            result = model.evaluate(sampler.sample_chip(seed=5, chip_id=i))
+            delays.append(result.access_delay)
+            leaks.append(result.total_leakage)
+        corr = float(np.corrcoef(np.log(leaks), delays)[0, 1])
+        assert corr < -0.5

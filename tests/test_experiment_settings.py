@@ -1,0 +1,79 @@
+"""Tests for experiment settings, env scaling, and memoisation."""
+
+import pytest
+
+from repro.experiments.common import (
+    ExperimentSettings,
+    benchmark_names,
+    clear_caches,
+    population,
+    simulate_config,
+)
+
+
+class TestEnvironmentScaling:
+    def test_env_defaults(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CHIPS", raising=False)
+        monkeypatch.delenv("REPRO_SEED", raising=False)
+        settings = ExperimentSettings()
+        assert settings.chips == 2000
+        assert settings.seed == 2006
+
+    def test_env_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHIPS", "123")
+        monkeypatch.setenv("REPRO_SEED", "9")
+        monkeypatch.setenv("REPRO_TRACE", "777")
+        monkeypatch.setenv("REPRO_BENCHMARKS", "gzip,mcf")
+        settings = ExperimentSettings()
+        assert settings.chips == 123
+        assert settings.seed == 9
+        assert settings.trace_length == 777
+        assert settings.benchmarks == ("gzip", "mcf")
+
+    def test_benchmark_names_default_is_full_suite(self):
+        settings = ExperimentSettings(benchmarks=None)
+        assert len(benchmark_names(settings)) == 24
+
+    def test_benchmark_names_subset(self):
+        settings = ExperimentSettings(benchmarks=("mcf", "gzip"))
+        assert benchmark_names(settings) == ["mcf", "gzip"]
+
+    def test_unknown_benchmark_rejected_at_use(self):
+        from repro.core.errors import ConfigurationError
+
+        settings = ExperimentSettings(benchmarks=("quake3",))
+        with pytest.raises(ConfigurationError):
+            benchmark_names(settings)
+
+
+class TestMemoisation:
+    def test_population_cached_per_settings(self):
+        clear_caches()
+        settings = ExperimentSettings(chips=120)
+        a = population(settings)
+        b = population(settings)
+        assert a is b
+
+    def test_population_distinct_per_seed(self):
+        clear_caches()
+        a = population(ExperimentSettings(chips=120, seed=1))
+        b = population(ExperimentSettings(chips=120, seed=2))
+        assert a is not b
+
+    def test_simulation_cached(self):
+        clear_caches()
+        settings = ExperimentSettings(
+            trace_length=1500, warmup=500, benchmarks=("gzip",)
+        )
+        a = simulate_config(settings, "gzip")
+        b = simulate_config(settings, "gzip")
+        assert a is b
+
+    def test_simulation_distinct_per_config(self):
+        settings = ExperimentSettings(
+            trace_length=1500, warmup=500, benchmarks=("gzip",)
+        )
+        base = simulate_config(settings, "gzip")
+        slow = simulate_config(settings, "gzip", way_cycles=(4, 4, 4, 5))
+        assert base is not slow
+        clear_caches()

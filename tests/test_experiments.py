@@ -1,0 +1,196 @@
+"""Tests for the experiment harness (small populations / short traces)."""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentSettings,
+    available_experiments,
+    run_experiment,
+)
+from repro.experiments.common import clear_caches, render_table
+from repro.experiments.table6 import CONFIG_ORDER, config_way_cycles
+from repro.yieldmodel import LossReason
+
+#: Fast settings: small chip population, tiny traces, 3 benchmarks.
+FAST = ExperimentSettings(
+    seed=2006,
+    chips=300,
+    trace_length=4000,
+    warmup=3000,
+    benchmarks=("gzip", "mcf", "crafty"),
+)
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _fresh_caches():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+class TestInfrastructure:
+    def test_registry_covers_every_paper_artefact(self):
+        names = available_experiments()
+        for required in (
+            "fig1",
+            "fig8",
+            "table2",
+            "table3",
+            "table4",
+            "table5",
+            "table6",
+            "fig9",
+            "fig10",
+            "sec42",
+            "sec45",
+        ):
+            assert required in names
+
+    def test_unknown_experiment_rejected(self):
+        from repro.core.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            run_experiment("table99", FAST)
+
+    def test_render_table_alignment(self):
+        text = render_table(["a", "bb"], [[1, 2.5], [30, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(map(len, lines))) == 1  # all rows same width
+
+    def test_settings_validation(self):
+        with pytest.raises(Exception):
+            ExperimentSettings(chips=0)
+
+
+class TestYieldExperiments:
+    def test_fig1_is_self_consistent(self):
+        result = run_experiment("fig1", FAST)
+        for row in result.rows:
+            assert row[-1] == pytest.approx(100.0)
+
+    def test_fig8_has_all_chips(self):
+        result = run_experiment("fig8", FAST)
+        assert len(result.data["normalized_leakage"]) == FAST.chips
+        assert result.data["correlation"] < -0.3
+
+    def test_table2_structure(self):
+        result = run_experiment("table2", FAST)
+        assert result.headers[2:] == ["YAPD", "VACA", "Hybrid"]
+        total_row = result.rows[-1]
+        assert total_row[0] == "total"
+        breakdown = result.data["breakdown"]
+        assert total_row[1] == breakdown.base_total
+
+    def test_table2_scheme_orderings(self):
+        breakdown = run_experiment("table2", FAST).data["breakdown"]
+        assert breakdown.scheme_total("Hybrid") <= breakdown.scheme_total("YAPD")
+        assert breakdown.scheme_total("Hybrid") <= breakdown.scheme_total("VACA")
+        assert breakdown.scheme_losses["YAPD"].get(LossReason.DELAY_1, 0) == 0
+
+    def test_table3_base_exceeds_table2(self):
+        """The slower H-YAPD organisation fails more chips."""
+        t2 = run_experiment("table2", FAST).data["breakdown"]
+        t3 = run_experiment("table3", FAST).data["breakdown"]
+        assert t3.base_total >= t2.base_total
+
+    def test_table4_strict_worse_than_relaxed(self):
+        result = run_experiment("table4", FAST)
+        relaxed = result.data["breakdowns"]["relaxed"]
+        strict = result.data["breakdowns"]["strict"]
+        assert strict.base_total > relaxed.base_total
+
+    def test_table5_matches_table4_shape(self):
+        result = run_experiment("table5", FAST)
+        assert [row[0] for row in result.rows] == ["relaxed", "strict"]
+
+    def test_sec42_overhead(self):
+        result = run_experiment("sec42", FAST)
+        assert result.data["nominal_overhead"] == pytest.approx(0.025)
+        assert result.data["h_losses"] >= result.data["base_losses"]
+
+
+class TestPerformanceExperiments:
+    def test_config_way_cycles_table(self):
+        assert config_way_cycles("3-1-0", "YAPD") == (4, 4, 4, None)
+        assert config_way_cycles("3-1-0", "VACA") == (4, 4, 4, 5)
+        assert config_way_cycles("2-2-0", "YAPD") is None
+        assert config_way_cycles("3-0-1", "VACA") is None
+        assert config_way_cycles("3-0-1", "Hybrid") == (4, 4, 4, None)
+        assert config_way_cycles("2-1-1", "Hybrid") == (4, 4, 5, None)
+        assert config_way_cycles("0-3-1", "Hybrid") == (5, 5, 5, None)
+        assert config_way_cycles("4-0-0", "VACA") is None
+        assert config_way_cycles("4-0-0", "Hybrid") == (4, 4, 4, None)
+
+    def test_table6_structure_and_weighting(self):
+        result = run_experiment("table6", FAST)
+        assert [row[0] for row in result.rows[:-1]] == list(CONFIG_ORDER)
+        weighted = result.data["weighted"]
+        degs = result.data["degradations"]
+        # Hybrid equals VACA on 3-1-0 (keeps the way powered)
+        assert degs["3-1-0"]["Hybrid"] == degs["3-1-0"]["VACA"]
+        # YAPD has one number for all its configurations
+        assert degs["3-1-0"]["YAPD"] == degs["4-0-0"]["YAPD"]
+        assert set(weighted) == {"YAPD", "VACA", "Hybrid"}
+
+    def test_table6_vaca_monotone_in_slow_ways(self):
+        degs = run_experiment("table6", FAST).data["degradations"]
+        assert (
+            degs["3-1-0"]["VACA"]
+            <= degs["2-2-0"]["VACA"]
+            <= degs["1-3-0"]["VACA"]
+            <= degs["0-4-0"]["VACA"]
+        )
+
+    def test_fig9_rows_cover_benchmarks(self):
+        result = run_experiment("fig9", FAST)
+        names = [row[0] for row in result.rows[:-1]]
+        assert names == ["gzip", "mcf", "crafty"]
+        assert result.rows[-1][0] == "average"
+
+    def test_fig10_vaca_only(self):
+        result = run_experiment("fig10", FAST)
+        assert result.headers == ["benchmark", "base CPI", "VACA"]
+
+    def test_sec45_binning_ordering(self):
+        series = run_experiment("sec45", FAST).data["series"]
+        for name in ("gzip", "crafty"):
+            assert series["binning@6"][name] > series["binning@5"][name] > 0
+
+    def test_ablation_lbb_tradeoff(self):
+        result = run_experiment("ablation_lbb", FAST)
+        data = result.data
+        # deeper buffers never lose yield, never get cheaper
+        assert data[0]["reduction"] <= data[1]["reduction"] <= data[2]["reduction"]
+        assert data[0]["cost"] <= data[1]["cost"] <= data[2]["cost"]
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        from repro.cli import main
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table2" in out
+
+    def test_run_fig1(self, capsys):
+        from repro.cli import main
+
+        assert main(["run", "fig1"]) == 0
+        assert "Figure 1" in capsys.readouterr().out
+
+    def test_run_writes_output(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "run",
+                "table2",
+                "--chips",
+                "200",
+                "--out",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        assert (tmp_path / "table2.txt").exists()

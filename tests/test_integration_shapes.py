@@ -1,0 +1,142 @@
+"""Integration tests: the paper's headline shapes hold end to end.
+
+These run the real pipeline — a 1200-chip Monte Carlo population through
+the circuit model, constraints, and all four schemes — and assert the
+*qualitative* results the paper reports (orderings and rough factors, not
+absolute counts). They are the reproduction's primary regression net.
+"""
+
+import pytest
+
+from repro.schemes import HYAPD, Hybrid, HybridHorizontal, NaiveBinning, VACA, YAPD
+from repro.yieldmodel import LossReason, YieldStudy
+from repro.yieldmodel.constraints import RELAXED_POLICY, STRICT_POLICY
+
+CHIPS = 1200
+
+
+@pytest.fixture(scope="module")
+def pop():
+    return YieldStudy(seed=2006, count=CHIPS).run()
+
+
+@pytest.fixture(scope="module")
+def breakdown(pop):
+    return pop.breakdown([YAPD(), VACA(), Hybrid()])
+
+
+@pytest.fixture(scope="module")
+def h_breakdown(pop):
+    return pop.breakdown(
+        [HYAPD(), VACA(), HybridHorizontal()], horizontal=True
+    )
+
+
+class TestBaseYieldLoss:
+    def test_base_loss_in_paper_band(self, breakdown):
+        """Paper: 16.9% parametric loss; we accept 10-25%."""
+        loss = breakdown.base_total / CHIPS
+        assert 0.10 < loss < 0.25
+
+    def test_leakage_losses_substantial(self, breakdown):
+        """Leakage is a major bucket (paper: 138 of 339)."""
+        leak = breakdown.base_counts.get(LossReason.LEAKAGE, 0)
+        assert leak / breakdown.base_total > 0.15
+
+    def test_single_way_delay_dominates_delay_losses(self, breakdown):
+        counts = breakdown.base_counts
+        d1 = counts.get(LossReason.DELAY_1, 0)
+        multi = sum(
+            counts.get(r, 0)
+            for r in (LossReason.DELAY_2, LossReason.DELAY_3, LossReason.DELAY_4)
+        )
+        assert d1 > multi  # paper: 126 vs 75
+
+    def test_h_architecture_loses_more_chips(self, breakdown, h_breakdown):
+        """Paper: base loss grows 339 -> 362 with the 2.5% overhead."""
+        assert h_breakdown.base_total > breakdown.base_total
+        assert h_breakdown.base_total < breakdown.base_total * 1.35
+
+
+class TestSchemeEffectiveness:
+    def test_yield_ordering(self, breakdown):
+        """Hybrid > YAPD > VACA > base (paper: 96.8/94.6/88.7/83.1%)."""
+        base = breakdown.yield_with()
+        yapd = breakdown.yield_with("YAPD")
+        vaca = breakdown.yield_with("VACA")
+        hybrid = breakdown.yield_with("Hybrid")
+        assert hybrid > yapd > vaca > base
+
+    def test_loss_reduction_factors(self, breakdown):
+        """Paper: YAPD 68.1%, VACA 33.3%, Hybrid 81.1% loss reduction."""
+        assert 0.5 < breakdown.loss_reduction("YAPD") < 0.85
+        assert 0.2 < breakdown.loss_reduction("VACA") < 0.55
+        assert 0.7 < breakdown.loss_reduction("Hybrid") < 0.97
+
+    def test_hybrid_yield_level(self, breakdown):
+        """Paper headline: Hybrid lifts yield to ~97%."""
+        assert breakdown.yield_with("Hybrid") > 0.94
+
+    def test_hyapd_beats_yapd_on_leakage(self, breakdown, h_breakdown):
+        """Paper: H-YAPD recovers more leakage chips (26 vs 33 lost)."""
+        yapd_rate = breakdown.scheme_losses["YAPD"].get(
+            LossReason.LEAKAGE, 0
+        ) / max(breakdown.base_counts.get(LossReason.LEAKAGE, 1), 1)
+        hyapd_rate = h_breakdown.scheme_losses["H-YAPD"].get(
+            LossReason.LEAKAGE, 0
+        ) / max(h_breakdown.base_counts.get(LossReason.LEAKAGE, 1), 1)
+        assert hyapd_rate <= yapd_rate
+
+    def test_hyapd_saves_some_multi_way_chips(self, h_breakdown):
+        """Paper Section 4.2: horizontal power-down repairs some chips
+        with 3-4 violating ways, which YAPD never can."""
+        losses = h_breakdown.scheme_losses["H-YAPD"]
+        base = h_breakdown.base_counts
+        saved_multi = sum(
+            base.get(r, 0) - losses.get(r, 0)
+            for r in (LossReason.DELAY_2, LossReason.DELAY_3, LossReason.DELAY_4)
+        )
+        assert saved_multi > 0
+
+    def test_binning_saves_fewer_than_vaca_at_5(self, pop):
+        """Re-binning at 5 cycles rescues the same delay chips as VACA
+        (identical feasibility) — the difference is performance, not
+        yield."""
+        vaca = pop.breakdown([VACA(), NaiveBinning(5)])
+        assert vaca.scheme_total("Binning@5") == vaca.scheme_total("VACA")
+
+    def test_binning_at_6_saves_more_chips(self, pop):
+        bd = pop.breakdown([NaiveBinning(5), NaiveBinning(6)])
+        assert bd.scheme_total("Binning@6") <= bd.scheme_total("Binning@5")
+
+
+class TestConstraintSensitivity:
+    def test_relaxed_and_strict_bracket_nominal(self, pop, breakdown):
+        relaxed = pop.reconstrained(RELAXED_POLICY).breakdown([Hybrid()])
+        strict = pop.reconstrained(STRICT_POLICY).breakdown([Hybrid()])
+        assert relaxed.base_total < breakdown.base_total < strict.base_total
+
+    def test_schemes_help_under_all_policies(self, pop):
+        """Paper: 'the proposed schemes perform fairly under different
+        yield constraints'."""
+        for policy in (RELAXED_POLICY, STRICT_POLICY):
+            bd = pop.reconstrained(policy).breakdown([YAPD(), Hybrid()])
+            if bd.base_total:
+                assert bd.loss_reduction("Hybrid") > 0.5
+                assert bd.loss_reduction("YAPD") > 0.3
+
+    def test_strict_hybrid_yield_band(self, pop):
+        """Paper: ~92.8% yield under strict constraints with Hybrid."""
+        strict = pop.reconstrained(STRICT_POLICY).breakdown([Hybrid()])
+        assert strict.yield_with("Hybrid") > 0.85
+
+
+class TestCensusShape:
+    def test_dominant_configurations(self, pop):
+        """3-1-0 and 4-0-0 dominate the saved-chip census (paper: 91 and
+        105 of 275)."""
+        census = pop.configuration_census(Hybrid())
+        ordered = sorted(census.items(), key=lambda kv: -kv[1])
+        top_two = {name for name, _ in ordered[:2]}
+        assert "3-1-0" in top_two or "4-0-0" in top_two
+        assert census.get("3-1-0", 0) > census.get("0-4-0", 0)

@@ -1,0 +1,94 @@
+"""Coverage for configuration surfaces: core config, ISA, CLI, fig1 data."""
+
+import pytest
+
+from repro.cache import HierarchyConfig
+from repro.cli import build_parser
+from repro.experiments.fig1 import TECHNOLOGY_NODES, YIELD_FACTORS
+from repro.uarch import CoreConfig, PAPER_CORE
+from repro.uarch.isa import FU_KIND, FU_LATENCIES, MEMORY_OPS, OpClass
+
+
+class TestCoreConfig:
+    def test_paper_parameters(self):
+        """Pin the paper's Section 5.2 core."""
+        assert PAPER_CORE.fetch_width == 4
+        assert PAPER_CORE.issue_width == 4
+        assert PAPER_CORE.iq_size == 128
+        assert PAPER_CORE.rob_size == 256
+        assert PAPER_CORE.sched_to_exec_stages == 7
+        assert PAPER_CORE.predicted_load_latency == 4
+        assert PAPER_CORE.lbb_slack == 1
+
+    def test_replace(self):
+        changed = PAPER_CORE.replace(lbb_slack=2)
+        assert changed.lbb_slack == 2
+        assert changed.iq_size == PAPER_CORE.iq_size
+
+    def test_validation(self):
+        with pytest.raises(Exception):
+            CoreConfig(issue_width=0)
+        with pytest.raises(Exception):
+            CoreConfig(lbb_slack=-1)
+        with pytest.raises(Exception):
+            CoreConfig(fu_pools={"ialu": 0})
+
+    def test_fu_pools_cover_all_kinds(self):
+        for op in OpClass:
+            assert FU_KIND[op] in PAPER_CORE.fu_pools
+
+    def test_latencies_cover_all_ops(self):
+        for op in OpClass:
+            assert FU_LATENCIES[op] >= 1
+
+    def test_memory_ops(self):
+        assert OpClass.LOAD in MEMORY_OPS
+        assert OpClass.STORE in MEMORY_OPS
+        assert OpClass.IALU not in MEMORY_OPS
+
+
+class TestHierarchyConfig:
+    def test_validation(self):
+        with pytest.raises(Exception):
+            HierarchyConfig(l2_latency=0)
+        with pytest.raises(Exception):
+            HierarchyConfig(memory_latency=-1)
+
+
+class TestCLIParser:
+    def test_run_requires_known_experiment(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["run", "tableX"])
+
+    def test_settings_flags(self):
+        args = build_parser().parse_args(
+            ["run", "table2", "--chips", "100", "--seed", "7",
+             "--trace", "5000", "--warmup", "1000",
+             "--benchmarks", "gzip,mcf"]
+        )
+        assert args.chips == 100
+        assert args.seed == 7
+        assert args.benchmarks == "gzip,mcf"
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestFig1Data:
+    def test_all_nodes_have_factors(self):
+        assert set(YIELD_FACTORS) == set(TECHNOLOGY_NODES)
+
+    def test_stacks_sum_to_100(self):
+        for node, (defect, litho, parametric, yld) in YIELD_FACTORS.items():
+            assert defect + litho + parametric + yld == pytest.approx(100.0)
+
+    def test_yield_decreases_with_scaling(self):
+        yields = [YIELD_FACTORS[node][3] for node in TECHNOLOGY_NODES]
+        assert yields == sorted(yields, reverse=True)
+
+    def test_parametric_becomes_dominant(self):
+        """The paper's motivation: parametric loss overtakes the others."""
+        defect, litho, parametric, _ = YIELD_FACTORS["0.09"]
+        assert parametric > defect + litho

@@ -1,0 +1,287 @@
+"""Tests for YAPD, H-YAPD, VACA, Hybrid, binning, and adaptive schemes."""
+
+import pytest
+
+from repro.schemes import (
+    AdaptiveHybrid,
+    HYAPD,
+    Hybrid,
+    HybridHorizontal,
+    NaiveBinning,
+    VACA,
+    YAPD,
+)
+from repro.schemes.adaptive import TableEstimator
+from repro.core.errors import ConfigurationError
+from tests.conftest import make_chip
+
+
+class TestYAPD:
+    def test_passing_chip_untouched(self, healthy_chip):
+        outcome = YAPD().rescue(healthy_chip)
+        assert outcome.saved
+        assert outcome.disabled_way is None
+
+    def test_one_slow_way_disabled(self, one_slow_way_chip):
+        outcome = YAPD().rescue(one_slow_way_chip)
+        assert outcome.saved
+        assert outcome.disabled_way == 3
+        assert outcome.way_cycles == (4, 4, 4, None)
+        assert outcome.configuration == "3-1-0"
+
+    def test_six_plus_way_also_disabled(self):
+        case = make_chip([0.9, 0.9, 0.9, 1.8])
+        outcome = YAPD().rescue(case)
+        assert outcome.saved
+        assert outcome.disabled_way == 3
+
+    def test_two_slow_ways_lost(self):
+        case = make_chip([0.9, 0.9, 1.2, 1.2])
+        outcome = YAPD().rescue(case)
+        assert not outcome.saved
+        assert "only one" in outcome.note
+
+    def test_leakage_disables_leakiest(self):
+        case = make_chip([0.9] * 4, way_leakages=[0.2, 0.2, 0.2, 0.5])
+        outcome = YAPD().rescue(case)
+        assert outcome.saved
+        assert outcome.disabled_way == 3
+
+    def test_leakage_unfixable_by_one_way(self):
+        case = make_chip([0.9] * 4, way_leakages=[0.5, 0.5, 0.5, 0.5])
+        outcome = YAPD().rescue(case)
+        assert not outcome.saved
+
+    def test_leakage_and_delay_same_way(self):
+        """The slow way is also the leaky one: one disable fixes both."""
+        case = make_chip(
+            [0.9, 0.9, 0.9, 1.2], way_leakages=[0.2, 0.2, 0.2, 0.6]
+        )
+        outcome = YAPD().rescue(case)
+        assert outcome.saved
+        assert outcome.disabled_way == 3
+
+    def test_leakage_and_delay_different_ways(self):
+        """Slow way 3, leaky way 0, both must go -> lost."""
+        case = make_chip(
+            [1.2, 0.9, 0.9, 0.9], way_leakages=[0.2, 0.2, 0.2, 0.9]
+        )
+        outcome = YAPD().rescue(case)
+        assert not outcome.saved
+
+
+class TestVACA:
+    def test_five_cycle_ways_tolerated(self):
+        case = make_chip([1.2, 1.2, 0.9, 1.1])
+        outcome = VACA().rescue(case)
+        assert outcome.saved
+        assert outcome.way_cycles == (5, 5, 4, 5)
+        assert outcome.disabled_way is None
+
+    def test_six_cycle_way_lost(self):
+        case = make_chip([0.9, 0.9, 0.9, 1.3])
+        outcome = VACA().rescue(case)
+        assert not outcome.saved
+
+    def test_leakage_lost(self, leaky_chip):
+        outcome = VACA().rescue(leaky_chip)
+        assert not outcome.saved
+        assert "leakage" in outcome.note
+
+    def test_passing_chip(self, healthy_chip):
+        assert VACA().rescue(healthy_chip).saved
+
+
+class TestHYAPD:
+    def _band_localised_chip(self):
+        """Way 0 violates only through band 3."""
+        profiles = [
+            [0.9, 0.9, 0.9, 1.2],
+            [0.85, 0.9, 0.9, 0.95],
+            [0.85, 0.9, 0.9, 0.95],
+            [0.85, 0.9, 0.9, 0.95],
+        ]
+        return make_chip([1.2, 0.95, 0.95, 0.95], band_profiles=profiles)
+
+    def test_band_localised_violation_fixed(self):
+        outcome = HYAPD().rescue(self._band_localised_chip())
+        assert outcome.saved
+        assert outcome.disabled_band == 3
+        assert outcome.way_cycles == (4, 4, 4, 4)
+
+    def test_whole_way_shift_unfixable(self):
+        """Every band of way 0 violates: no single band repairs it."""
+        profiles = [
+            [1.2, 1.2, 1.2, 1.2],
+            [0.9] * 4,
+            [0.9] * 4,
+            [0.9] * 4,
+        ]
+        case = make_chip([1.2, 0.9, 0.9, 0.9], band_profiles=profiles)
+        outcome = HYAPD().rescue(case)
+        assert not outcome.saved
+
+    def test_multi_way_aligned_band_fixed(self):
+        """The same band is critical in all ways: H-YAPD repairs a
+        multi-way violation YAPD cannot (paper Section 4.2)."""
+        profiles = [[0.9, 0.9, 0.9, 1.15] for _ in range(4)]
+        case = make_chip([1.15] * 4, band_profiles=profiles)
+        assert not YAPD().rescue(case).saved
+        outcome = HYAPD().rescue(case)
+        assert outcome.saved
+        assert outcome.disabled_band == 3
+
+    def test_leakage_band_disable(self):
+        """Gating a band across ways removes ~1/4 of array leakage."""
+        case = make_chip([0.9] * 4, way_leakages=[0.3, 0.3, 0.3, 0.3])
+        assert case.leakage_violation
+        outcome = HYAPD(peripheral_save_fraction=0.5).rescue(case)
+        # each way: periph 0.03, bands 0.0675 each; disabling one band
+        # saves 4*0.0675 + 0.5*0.12/4 = 0.285 -> total 0.915 <= 1.0
+        assert outcome.saved
+        assert outcome.disabled_band is not None
+
+    def test_peripheral_fraction_validated(self):
+        with pytest.raises(ConfigurationError):
+            HYAPD(peripheral_save_fraction=1.5)
+
+
+class TestHybrid:
+    def test_keeps_ways_on_when_possible(self, one_slow_way_chip):
+        """Paper: a way is turned off only if necessary; 3-1-0 runs as
+        VACA."""
+        outcome = Hybrid().rescue(one_slow_way_chip)
+        assert outcome.saved
+        assert outcome.disabled_way is None
+        assert outcome.way_cycles == (4, 4, 4, 5)
+
+    def test_disables_single_six_plus_way(self):
+        case = make_chip([0.9, 1.1, 0.9, 1.4])
+        outcome = Hybrid().rescue(case)
+        assert outcome.saved
+        assert outcome.disabled_way == 3
+        assert outcome.way_cycles == (4, 5, 4, None)
+
+    def test_two_six_plus_ways_lost(self):
+        case = make_chip([0.9, 0.9, 1.4, 1.4])
+        assert not Hybrid().rescue(case).saved
+
+    def test_leakage_uses_power_down(self, leaky_chip):
+        outcome = Hybrid().rescue(leaky_chip)
+        assert outcome.saved
+        assert outcome.disabled_way == 3
+
+    def test_four_five_cycle_ways_saved(self):
+        """0-4-0 is saved by Hybrid (and VACA) but not YAPD."""
+        case = make_chip([1.2, 1.2, 1.2, 1.2])
+        assert Hybrid().rescue(case).saved
+        assert VACA().rescue(case).saved
+        assert not YAPD().rescue(case).saved
+
+    def test_leakage_plus_slow_way(self):
+        """Leaky chip with a separate 5-cycle way: Hybrid disables the
+        leaky way and serves the slow one at 5 cycles; YAPD, forced to
+        disable the slow way, cannot also fix the leakage."""
+        case = make_chip(
+            [1.2, 0.9, 0.9, 0.9], way_leakages=[0.2, 0.3, 0.3, 0.5]
+        )
+        hybrid = Hybrid().rescue(case)
+        assert hybrid.saved
+        assert hybrid.disabled_way == 3
+        assert not YAPD().rescue(case).saved
+
+
+class TestHybridHorizontal:
+    def test_vaca_mode(self, one_slow_way_chip):
+        outcome = HybridHorizontal().rescue(one_slow_way_chip)
+        assert outcome.saved
+        assert outcome.disabled_band is None
+
+    def test_band_disable_for_six_plus(self):
+        profiles = [
+            [0.9, 0.9, 0.9, 1.4],
+            [0.9] * 4,
+            [0.9] * 4,
+            [0.9] * 4,
+        ]
+        case = make_chip([1.4, 0.9, 0.9, 0.9], band_profiles=profiles)
+        outcome = HybridHorizontal().rescue(case)
+        assert outcome.saved
+        assert outcome.disabled_band == 3
+
+
+class TestNaiveBinning:
+    def test_rebins_five_cycle_chip(self):
+        case = make_chip([1.2, 1.1, 0.9, 1.2])
+        outcome = NaiveBinning(5).rescue(case)
+        assert outcome.saved
+        assert outcome.way_cycles == (5, 5, 5, 5)
+
+    def test_six_cycle_chip_needs_six_bin(self):
+        case = make_chip([0.9, 0.9, 0.9, 1.4])
+        assert not NaiveBinning(5).rescue(case).saved
+        outcome = NaiveBinning(6).rescue(case)
+        assert outcome.saved
+        assert outcome.way_cycles == (6, 6, 6, 6)
+
+    def test_leakage_not_fixable(self, leaky_chip):
+        assert not NaiveBinning(6).rescue(leaky_chip).saved
+
+    def test_rejects_sub_base_target(self):
+        with pytest.raises(ConfigurationError):
+            NaiveBinning(3)
+
+
+class TestAdaptiveHybrid:
+    def test_prefers_cheaper_option(self, one_slow_way_chip):
+        """With VACA predicted costlier than disabling, it disables."""
+        estimator = TableEstimator(
+            {
+                (4, 4, 4, 5): 0.03,
+                (4, 4, 4, None): 0.01,
+            }
+        )
+        outcome = AdaptiveHybrid(estimator).rescue(one_slow_way_chip)
+        assert outcome.saved
+        assert outcome.disabled_way == 3
+
+    def test_prefers_keeping_way_when_cheap(self, one_slow_way_chip):
+        estimator = TableEstimator(
+            {
+                (4, 4, 4, 5): 0.005,
+                (4, 4, 4, None): 0.02,
+            }
+        )
+        outcome = AdaptiveHybrid(estimator).rescue(one_slow_way_chip)
+        assert outcome.saved
+        assert outcome.disabled_way is None
+
+    def test_canonicalisation_ignores_way_order(self):
+        estimator = TableEstimator({(4, 4, 4, 5): 0.01})
+        assert estimator((5, 4, 4, 4)) == pytest.approx(0.01)
+        assert estimator((4, 5, 4, 4)) == pytest.approx(0.01)
+
+    def test_unfixable_chip_lost(self):
+        estimator = TableEstimator({}, default=0.0)
+        case = make_chip([0.9, 0.9, 1.4, 1.4])
+        assert not AdaptiveHybrid(estimator).rescue(case).saved
+
+
+class TestOutcomeInvariants:
+    def test_saved_outcomes_have_cycles(self, one_slow_way_chip):
+        for scheme in (YAPD(), VACA(), Hybrid(), NaiveBinning(5)):
+            outcome = scheme.rescue(one_slow_way_chip)
+            if outcome.saved:
+                assert outcome.way_cycles is not None
+                assert outcome.enabled_ways
+
+    def test_lost_outcomes_carry_note(self):
+        case = make_chip([1.4, 1.4, 1.4, 1.4])
+        for scheme in (YAPD(), VACA(), Hybrid()):
+            outcome = scheme.rescue(case)
+            assert not outcome.saved
+            assert outcome.note
+
+    def test_max_cycles(self, one_slow_way_chip):
+        outcome = VACA().rescue(one_slow_way_chip)
+        assert outcome.max_cycles == 5

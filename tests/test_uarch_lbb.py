@@ -1,0 +1,57 @@
+"""Tests for the load-bypass buffer occupancy tracker."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.uarch.lbb import LoadBypassBuffers
+
+
+class TestHold:
+    def test_single_hold(self):
+        lbb = LoadBypassBuffers(capacity=2, slack=1)
+        assert lbb.try_hold(10, 1)
+        assert lbb.total_stalls == 1
+
+    def test_duration_beyond_slack_rejected(self):
+        lbb = LoadBypassBuffers(capacity=2, slack=1)
+        assert not lbb.try_hold(10, 2)
+        assert lbb.total_stalls == 0
+
+    def test_zero_slack_rejects_everything(self):
+        lbb = LoadBypassBuffers(capacity=2, slack=0)
+        assert not lbb.try_hold(10, 1)
+
+    def test_capacity_enforced(self):
+        lbb = LoadBypassBuffers(capacity=2, slack=1)
+        assert lbb.try_hold(10, 1)
+        assert lbb.try_hold(10, 1)
+        assert not lbb.try_hold(10, 1)
+        assert lbb.overflows == 1
+
+    def test_capacity_is_per_cycle(self):
+        lbb = LoadBypassBuffers(capacity=1, slack=1)
+        assert lbb.try_hold(10, 1)
+        assert lbb.try_hold(11, 1)  # different cycle, fresh entry
+
+    def test_multi_cycle_hold_spans(self):
+        lbb = LoadBypassBuffers(capacity=1, slack=2)
+        assert lbb.try_hold(10, 2)  # occupies cycles 10 and 11
+        assert not lbb.try_hold(11, 1)
+
+    def test_peak_tracking(self):
+        lbb = LoadBypassBuffers(capacity=4, slack=1)
+        for _ in range(3):
+            lbb.try_hold(5, 1)
+        assert lbb.peak == 3
+
+    def test_release_before(self):
+        lbb = LoadBypassBuffers(capacity=1, slack=1)
+        lbb.try_hold(10, 1)
+        lbb.release_before(100)
+        assert lbb.try_hold(10, 1)  # bookkeeping dropped
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LoadBypassBuffers(capacity=0)
+        with pytest.raises(ConfigurationError):
+            LoadBypassBuffers(capacity=1, slack=-1)

@@ -1,0 +1,194 @@
+"""Tests for the hierarchical cache variation sampler."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings as hsettings, strategies as st
+
+from repro.core.errors import ConfigurationError
+from repro.variation.montecarlo import MonteCarloEngine
+from repro.variation.parameters import PARAMETER_NAMES, TABLE1
+from repro.variation.sampling import CacheVariationSampler, PERIPHERAL_SEGMENTS
+from repro.variation.spatial import CorrelationFactors
+
+
+def make_sampler(**kwargs) -> CacheVariationSampler:
+    return CacheVariationSampler(**kwargs)
+
+
+class TestSamplerStructure:
+    def test_shape(self):
+        cvmap = make_sampler().sample_chip(seed=1, chip_id=0)
+        assert cvmap.num_ways == 4
+        assert cvmap.num_bands == 4
+        for way in cvmap.ways:
+            assert len(way.bands) == 4
+            assert len(way.band_residuals) == 4
+
+    def test_reproducible_per_chip(self):
+        a = make_sampler().sample_chip(seed=9, chip_id=5)
+        b = make_sampler().sample_chip(seed=9, chip_id=5)
+        assert a == b
+
+    def test_chips_differ(self):
+        a = make_sampler().sample_chip(seed=9, chip_id=5)
+        b = make_sampler().sample_chip(seed=9, chip_id=6)
+        assert a != b
+
+    def test_seed_changes_population(self):
+        a = make_sampler().sample_chip(seed=1, chip_id=0)
+        b = make_sampler().sample_chip(seed=2, chip_id=0)
+        assert a != b
+
+    def test_band_vectors_helper(self):
+        cvmap = make_sampler().sample_chip(seed=1, chip_id=0)
+        vectors = cvmap.band_vectors(2)
+        assert len(vectors) == 4
+        assert vectors[1] == cvmap.ways[1].bands[2]
+        with pytest.raises(ConfigurationError):
+            cvmap.band_vectors(9)
+
+    def test_peripheral_lookup(self):
+        cvmap = make_sampler().sample_chip(seed=1, chip_id=0)
+        for name in PERIPHERAL_SEGMENTS:
+            assert cvmap.ways[0].peripheral(name) is not None
+        with pytest.raises(ConfigurationError):
+            cvmap.ways[0].peripheral("bogus")
+
+    def test_too_many_ways_for_mesh(self):
+        with pytest.raises(ConfigurationError):
+            make_sampler(num_ways=5)
+
+    def test_invalid_outlier_config(self):
+        with pytest.raises(ConfigurationError):
+            make_sampler(outlier_band_prob=1.5)
+        with pytest.raises(ConfigurationError):
+            make_sampler(outlier_scale_range=(0.5, 2.0))
+
+
+class TestSamplerStatistics:
+    def test_all_values_positive_and_clipped(self):
+        sampler = make_sampler()
+        for chip_id in range(50):
+            cvmap = sampler.sample_chip(seed=3, chip_id=chip_id)
+            for way in cvmap.ways:
+                for params in [way.params, way.decoder, *way.bands]:
+                    for name in PARAMETER_NAMES:
+                        value = getattr(params, name)
+                        nominal = getattr(TABLE1.nominal(), name)
+                        assert value > 0
+                        # die draw clipped at 3 sigma; children can stray a
+                        # little past but must stay within die +/- child
+                        # clip; allow a generous global envelope.
+                        assert value < nominal * 3
+
+    def test_die_mean_tracks_nominal(self):
+        sampler = make_sampler()
+        vts = [
+            sampler.sample_chip(seed=11, chip_id=i).die.vt for i in range(400)
+        ]
+        mean = float(np.mean(vts))
+        assert mean == pytest.approx(TABLE1.nominal().vt, rel=0.02)
+
+    def test_way_correlation_ordering(self):
+        """Way 1 (horizontal, factor .375) tracks way 0 tighter than way 3
+        (diagonal, .7125)."""
+        sampler = make_sampler(path_residual_sigma=0.0, outlier_band_prob=0.0)
+        d1, d3 = [], []
+        for i in range(400):
+            cvmap = sampler.sample_chip(seed=13, chip_id=i)
+            base = cvmap.ways[0].params.vt
+            d1.append(cvmap.ways[1].params.vt - base)
+            d3.append(cvmap.ways[3].params.vt - base)
+        assert np.std(d3) > np.std(d1) * 1.2
+
+    def test_band_offsets_shared_across_ways(self):
+        """The same band index in different ways is positively correlated."""
+        sampler = make_sampler(path_residual_sigma=0.0, outlier_band_prob=0.0)
+        a, b = [], []
+        for i in range(400):
+            cvmap = sampler.sample_chip(seed=17, chip_id=i)
+            way_means = [
+                np.mean([band.vt for band in way.bands]) for way in cvmap.ways
+            ]
+            # deviation of band 2 from its way mean, in two ways
+            a.append(cvmap.ways[0].bands[2].vt - way_means[0])
+            b.append(cvmap.ways[3].bands[2].vt - way_means[3])
+        corr = float(np.corrcoef(a, b)[0, 1])
+        assert corr > 0.5
+
+    def test_band_factor_zero_decorrelates(self):
+        factors = CorrelationFactors().with_band(0.0)
+        sampler = make_sampler(
+            factors=factors, path_residual_sigma=0.0, outlier_band_prob=0.0
+        )
+        a, b = [], []
+        for i in range(400):
+            cvmap = sampler.sample_chip(seed=17, chip_id=i)
+            a.append(cvmap.ways[0].bands[2].vt - cvmap.ways[0].params.vt)
+            b.append(cvmap.ways[3].bands[2].vt - cvmap.ways[3].params.vt)
+        corr = float(np.corrcoef(a, b)[0, 1])
+        assert abs(corr) < 0.2
+
+    def test_residuals_unit_mean(self):
+        sampler = make_sampler(outlier_band_prob=0.0)
+        values = []
+        for i in range(300):
+            cvmap = sampler.sample_chip(seed=23, chip_id=i)
+            for way in cvmap.ways:
+                values.extend(way.band_residuals)
+        assert float(np.mean(values)) == pytest.approx(1.0, rel=0.05)
+
+    def test_outliers_appear_at_configured_rate(self):
+        sampler = make_sampler(
+            path_residual_sigma=0.0,
+            outlier_band_prob=0.05,
+            outlier_scale_range=(1.5, 1.5),
+        )
+        hits = total = 0
+        for i in range(200):
+            cvmap = sampler.sample_chip(seed=29, chip_id=i)
+            for way in cvmap.ways:
+                for residual in way.band_residuals:
+                    total += 1
+                    if residual > 1.4:
+                        hits += 1
+        assert hits / total == pytest.approx(0.05, abs=0.02)
+
+    def test_residuals_disabled(self):
+        sampler = make_sampler(path_residual_sigma=0.0, outlier_band_prob=0.0)
+        cvmap = sampler.sample_chip(seed=1, chip_id=0)
+        assert cvmap.ways[0].band_residuals == ()
+        assert cvmap.ways[0].band_residual(2) == 1.0
+
+
+class TestMonteCarloEngine:
+    def test_population_size(self):
+        engine = MonteCarloEngine(make_sampler(), seed=5)
+        chips = list(engine.chips(25))
+        assert len(chips) == 25
+        assert [c.chip_id for c in chips] == list(range(25))
+
+    def test_map_chips(self):
+        engine = MonteCarloEngine(make_sampler(), seed=5)
+        vts = engine.map_chips(lambda c: c.die.vt, count=10)
+        assert len(vts) == 10
+
+    def test_prefix_stability(self):
+        """Chip i is identical regardless of population size."""
+        engine = MonteCarloEngine(make_sampler(), seed=5)
+        small = list(engine.chips(3))
+        large = list(engine.chips(6))
+        assert small == large[:3]
+
+    def test_rejects_non_positive_count(self):
+        engine = MonteCarloEngine(make_sampler(), seed=5)
+        with pytest.raises(ConfigurationError):
+            list(engine.chips(0))
+
+
+@hsettings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**31), chip=st.integers(0, 50))
+def test_sampling_is_pure(seed, chip):
+    """Property: sampling any chip twice yields identical maps."""
+    sampler = CacheVariationSampler()
+    assert sampler.sample_chip(seed, chip) == sampler.sample_chip(seed, chip)

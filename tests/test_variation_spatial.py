@@ -1,0 +1,86 @@
+"""Tests for the mesh layout and correlation factors."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.variation.spatial import CorrelationFactors, MeshLayout, PAPER_FACTORS
+
+
+class TestMeshLayout:
+    def test_default_is_2x2(self):
+        mesh = MeshLayout()
+        assert mesh.capacity == 4
+
+    def test_positions_row_major(self):
+        mesh = MeshLayout()
+        assert mesh.position(0) == (0, 0)
+        assert mesh.position(1) == (0, 1)
+        assert mesh.position(2) == (1, 0)
+        assert mesh.position(3) == (1, 1)
+
+    def test_relations_match_paper_geometry(self):
+        mesh = MeshLayout()
+        assert mesh.relation_to_origin(0) == "origin"
+        assert mesh.relation_to_origin(1) == "horizontal"
+        assert mesh.relation_to_origin(2) == "vertical"
+        assert mesh.relation_to_origin(3) == "diagonal"
+
+    def test_out_of_range_way(self):
+        with pytest.raises(ConfigurationError):
+            MeshLayout().position(4)
+
+    def test_invalid_mesh(self):
+        with pytest.raises(ConfigurationError):
+            MeshLayout(rows=0, cols=2)
+
+    def test_larger_mesh(self):
+        mesh = MeshLayout(rows=2, cols=4)
+        assert mesh.capacity == 8
+        assert mesh.position(5) == (1, 1)
+
+
+class TestCorrelationFactors:
+    """Pin the paper's Section 3 correlation factors."""
+
+    def test_paper_values(self):
+        assert PAPER_FACTORS.bit == pytest.approx(0.01)
+        assert PAPER_FACTORS.row == pytest.approx(0.05)
+        assert PAPER_FACTORS.way_horizontal == pytest.approx(0.375)
+        assert PAPER_FACTORS.way_vertical == pytest.approx(0.45)
+        assert PAPER_FACTORS.way_diagonal == pytest.approx(0.7125)
+
+    def test_way_factor_dispatch(self):
+        mesh = MeshLayout()
+        assert PAPER_FACTORS.way_factor(0, mesh) == 0.0
+        assert PAPER_FACTORS.way_factor(1, mesh) == pytest.approx(0.375)
+        assert PAPER_FACTORS.way_factor(2, mesh) == pytest.approx(0.45)
+        assert PAPER_FACTORS.way_factor(3, mesh) == pytest.approx(0.7125)
+
+    def test_diagonal_factor_is_product_like(self):
+        # The paper's diagonal factor is horizontal x vertical / ... in
+        # fact 0.7125 = 0.375 + 0.45 - 0.375*0.45/... just pin the ratio
+        # ordering instead: diagonal is the least correlated.
+        assert (
+            PAPER_FACTORS.way_diagonal
+            > PAPER_FACTORS.way_vertical
+            > PAPER_FACTORS.way_horizontal
+        )
+
+    def test_scaled_ways(self):
+        scaled = PAPER_FACTORS.scaled_ways(2.0)
+        assert scaled.way_horizontal == pytest.approx(0.75)
+        assert scaled.bit == PAPER_FACTORS.bit
+        assert scaled.band == PAPER_FACTORS.band
+
+    def test_with_band(self):
+        changed = PAPER_FACTORS.with_band(0.0)
+        assert changed.band == 0.0
+        assert changed.way_vertical == PAPER_FACTORS.way_vertical
+
+    def test_negative_factor_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CorrelationFactors(bit=-0.1)
+
+    def test_scaled_ways_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            PAPER_FACTORS.scaled_ways(-1.0)

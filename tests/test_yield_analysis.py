@@ -1,0 +1,129 @@
+"""Tests for the population yield study (small, fast populations)."""
+
+import pytest
+
+from repro.schemes import HYAPD, Hybrid, HybridHorizontal, VACA, YAPD
+from repro.yieldmodel import LossReason, YieldStudy
+from repro.yieldmodel.constraints import RELAXED_POLICY, STRICT_POLICY
+
+CHIPS = 400
+
+
+@pytest.fixture(scope="module")
+def pop():
+    return YieldStudy(seed=2006, count=CHIPS).run()
+
+
+class TestPopulationBasics:
+    def test_population_size(self, pop):
+        assert pop.population == CHIPS
+        assert len(pop.h_cases) == CHIPS
+
+    def test_deterministic(self):
+        a = YieldStudy(seed=77, count=60).run()
+        b = YieldStudy(seed=77, count=60).run()
+        assert [c.circuit for c in a.cases] == [c.circuit for c in b.cases]
+
+    def test_seed_changes_chips(self):
+        a = YieldStudy(seed=1, count=30).run()
+        b = YieldStudy(seed=2, count=30).run()
+        assert [c.circuit for c in a.cases] != [c.circuit for c in b.cases]
+
+    def test_same_limits_for_both_architectures(self, pop):
+        assert pop.cases[0].constraints is pop.constraints
+        assert pop.h_cases[0].constraints is pop.constraints
+
+    def test_h_architecture_is_uniformly_slower(self, pop):
+        for case, h_case in zip(pop.cases[:100], pop.h_cases[:100]):
+            assert h_case.circuit.access_delay == pytest.approx(
+                case.circuit.access_delay * 1.025
+            )
+
+    def test_h_architecture_leaks_identically(self, pop):
+        for case, h_case in zip(pop.cases[:100], pop.h_cases[:100]):
+            assert h_case.circuit.total_leakage == pytest.approx(
+                case.circuit.total_leakage
+            )
+
+    def test_scatter_normalisation(self, pop):
+        norm_leak, delays = pop.scatter()
+        assert len(norm_leak) == CHIPS
+        assert sum(norm_leak) / CHIPS == pytest.approx(1.0)
+
+
+class TestBreakdownAccounting:
+    def test_base_counts_cover_all_failures(self, pop):
+        bd = pop.breakdown([YAPD()])
+        failing = sum(1 for case in pop.cases if not case.passes)
+        assert bd.base_total == failing
+
+    def test_scheme_losses_never_exceed_base(self, pop):
+        bd = pop.breakdown([YAPD(), VACA(), Hybrid()])
+        for reason, base, losses in bd.rows():
+            for value in losses.values():
+                assert 0 <= value <= base
+
+    def test_yield_accounting(self, pop):
+        bd = pop.breakdown([Hybrid()])
+        assert bd.yield_with() == pytest.approx(
+            1 - bd.base_total / CHIPS
+        )
+        assert bd.yield_with("Hybrid") >= bd.yield_with()
+
+    def test_vaca_never_saves_leakage(self, pop):
+        bd = pop.breakdown([VACA()])
+        leak_base = bd.base_counts.get(LossReason.LEAKAGE, 0)
+        assert bd.scheme_losses["VACA"].get(LossReason.LEAKAGE, 0) == leak_base
+
+    def test_yapd_eliminates_single_way_delay_losses(self, pop):
+        bd = pop.breakdown([YAPD()])
+        assert bd.scheme_losses["YAPD"].get(LossReason.DELAY_1, 0) == 0
+
+    def test_yapd_cannot_fix_multi_way_delay(self, pop):
+        bd = pop.breakdown([YAPD()])
+        for reason in (LossReason.DELAY_2, LossReason.DELAY_3, LossReason.DELAY_4):
+            assert bd.scheme_losses["YAPD"].get(reason, 0) == bd.base_counts.get(
+                reason, 0
+            )
+
+    def test_hybrid_dominates_both_parents(self, pop):
+        bd = pop.breakdown([YAPD(), VACA(), Hybrid()])
+        assert bd.scheme_total("Hybrid") <= bd.scheme_total("YAPD")
+        assert bd.scheme_total("Hybrid") <= bd.scheme_total("VACA")
+
+    def test_horizontal_breakdown(self, pop):
+        bdh = pop.breakdown(
+            [HYAPD(), VACA(), HybridHorizontal()], horizontal=True
+        )
+        assert bdh.base_total >= 0
+        assert bdh.scheme_total("Hybrid-H") <= bdh.scheme_total("H-YAPD")
+
+
+class TestCensus:
+    def test_census_counts_saved_failures_only(self, pop):
+        census = pop.configuration_census(Hybrid())
+        saved_failures = sum(
+            1
+            for case in pop.cases
+            if not case.passes and Hybrid().rescue(case).saved
+        )
+        assert sum(census.values()) == saved_failures
+
+    def test_census_keys_are_config_strings(self, pop):
+        for key in pop.configuration_census(Hybrid()):
+            a, b, c = key.split("-")
+            assert int(a) + int(b) + int(c) == 4
+
+
+class TestReconstrained:
+    def test_strict_has_more_losses(self, pop):
+        strict = pop.reconstrained(STRICT_POLICY)
+        relaxed = pop.reconstrained(RELAXED_POLICY)
+        fail = lambda population: sum(
+            1 for case in population.cases if not case.passes
+        )
+        assert fail(strict) > fail(pop) > fail(relaxed)
+
+    def test_same_circuits(self, pop):
+        strict = pop.reconstrained(STRICT_POLICY)
+        assert strict.cases[0].circuit is pop.cases[0].circuit

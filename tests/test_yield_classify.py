@@ -1,0 +1,110 @@
+"""Tests for per-chip loss classification and Table 6 config keys."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.yieldmodel.classify import LossReason, config_key
+from tests.conftest import make_chip
+
+
+class TestConfigKey:
+    def test_healthy(self):
+        assert config_key((4, 4, 4, 4)) == "4-0-0"
+
+    def test_one_five(self):
+        assert config_key((4, 5, 4, 4)) == "3-1-0"
+
+    def test_mixed_six(self):
+        assert config_key((4, 5, 6, 4)) == "2-1-1"
+
+    def test_deep_tail_counts_as_six_plus(self):
+        assert config_key((4, 4, 4, 9)) == "3-0-1"
+
+    def test_all_slow(self):
+        assert config_key((5, 5, 5, 5)) == "0-4-0"
+
+    def test_rejects_sub_base_cycles(self):
+        with pytest.raises(ConfigurationError):
+            config_key((3, 4, 4, 4))
+
+
+class TestLossReason:
+    def test_delay_bucket_lookup(self):
+        assert LossReason.delay(1) is LossReason.DELAY_1
+        assert LossReason.delay(4) is LossReason.DELAY_4
+
+    def test_high_associativity_buckets_exist(self):
+        assert LossReason.delay(5) is LossReason.DELAY_5
+        assert LossReason.delay(8) is LossReason.DELAY_8
+
+    def test_delay_bucket_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            LossReason.delay(9)
+
+    def test_is_loss(self):
+        assert not LossReason.NONE.is_loss
+        assert LossReason.LEAKAGE.is_loss
+
+
+class TestChipCase:
+    def test_healthy_chip_passes(self, healthy_chip):
+        assert healthy_chip.passes
+        assert healthy_chip.loss_reason is LossReason.NONE
+        assert healthy_chip.configuration == "4-0-0"
+
+    def test_one_slow_way(self, one_slow_way_chip):
+        case = one_slow_way_chip
+        assert not case.passes
+        assert case.loss_reason is LossReason.DELAY_1
+        assert case.delay_violating_ways == (3,)
+        assert case.way_cycles == (4, 4, 4, 5)
+        assert case.configuration == "3-1-0"
+
+    def test_leakage_chip(self, leaky_chip):
+        assert leaky_chip.loss_reason is LossReason.LEAKAGE
+        assert leaky_chip.leakage_violation
+        assert not leaky_chip.delay_violation
+        assert leaky_chip.configuration == "4-0-0"
+
+    def test_leakage_takes_priority_over_delay(self):
+        """A chip violating both is counted in the leakage bucket (the
+        Table 6 4-0-0 accounting confirms this reading)."""
+        case = make_chip(
+            [0.9, 0.9, 0.9, 1.2], way_leakages=[0.3, 0.3, 0.3, 0.3]
+        )
+        assert case.loss_reason is LossReason.LEAKAGE
+
+    def test_multi_way_delay_bucket(self):
+        case = make_chip([1.1, 1.2, 0.9, 1.3])
+        assert case.loss_reason is LossReason.DELAY_3
+        assert case.delay_violating_ways == (0, 1, 3)
+
+    def test_six_plus_configuration(self):
+        case = make_chip([0.9, 0.9, 0.9, 1.6])
+        assert case.way_cycles[3] == 7
+        assert case.configuration == "3-0-1"
+
+    def test_max_leakage_way(self):
+        case = make_chip(
+            [0.9] * 4, way_leakages=[0.1, 0.4, 0.2, 0.1]
+        )
+        assert case.max_leakage_way() == 1
+
+    def test_leakage_after_disabling_way(self):
+        case = make_chip([0.9] * 4, way_leakages=[0.1, 0.4, 0.2, 0.1])
+        remaining = case.leakage_after_disabling_way(1)
+        assert remaining == pytest.approx(0.4)
+
+    def test_way_cycles_without_band(self):
+        """Removing the critical band lowers the cycle classification."""
+        profiles = [
+            [0.9, 0.9, 0.9, 1.2],  # way 0: band 3 violates
+            [0.9] * 4,
+            [0.9] * 4,
+            [0.9] * 4,
+        ]
+        case = make_chip(
+            [1.2, 0.9, 0.9, 0.9], band_profiles=profiles
+        )
+        assert case.way_cycles[0] == 5
+        assert case.way_cycles_without_band(3)[0] == 4
