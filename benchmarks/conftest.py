@@ -21,12 +21,32 @@ import os
 
 import pytest
 
+from repro.core.validation import env_int as _env_int
+from repro.engine import get_engine, reset_engine
 from repro.experiments import ExperimentSettings, run_experiment
 
 
-def _env_int(name: str, default: int) -> int:
-    value = os.environ.get(name)
-    return int(value) if value else default
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_engine(tmp_path_factory):
+    """Point the engine's persistent store at a per-session directory.
+
+    Benchmarks measure compute, so a warm ``.repro_cache/`` left over
+    from a previous run would silently turn them into disk-read timings.
+    ``REPRO_WORKERS`` still applies, so the suite can be benchmarked at
+    any worker count.
+    """
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("repro-cache"))
+    reset_engine()
+    yield
+    reset_engine()
+
+
+@pytest.fixture
+def engine_stats():
+    """The live engine's statistics (zeroed before the benchmark)."""
+    stats = get_engine().stats
+    stats.reset()
+    return stats
 
 
 @pytest.fixture(scope="session")

@@ -5,10 +5,17 @@ Examples::
     repro list
     repro run table2
     repro run table6 --trace 20000 --benchmarks gzip,mcf,swim
-    repro all --chips 500 --out results/
+    repro run fig8 --workers 4 --stats --out results/fig8.txt
+    repro all --chips 500 --workers 4 --out results/
+    repro cache info
+    repro cache clear
 
 The same environment variables the experiment settings honour
-(``REPRO_CHIPS`` etc.) also work; explicit flags win.
+(``REPRO_CHIPS`` etc.) also work; explicit flags win. ``--workers``
+(default ``REPRO_WORKERS``) spreads populations and simulations over a
+process pool, and completed work persists under ``.repro_cache/``
+(``REPRO_CACHE_DIR``) so repeated runs skip it; ``repro cache`` inspects
+or empties that store.
 """
 
 from __future__ import annotations
@@ -18,6 +25,7 @@ import pathlib
 import sys
 from typing import List, Optional
 
+from repro.engine import configure_engine, get_engine
 from repro.experiments import (
     ExperimentSettings,
     available_experiments,
@@ -39,7 +47,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list available experiments")
 
-    def add_settings(p: argparse.ArgumentParser) -> None:
+    def add_settings(p: argparse.ArgumentParser, out_help: str) -> None:
         p.add_argument("--seed", type=int, default=None, help="experiment seed")
         p.add_argument(
             "--chips", type=int, default=None, help="Monte Carlo population"
@@ -56,17 +64,33 @@ def build_parser() -> argparse.ArgumentParser:
             "--benchmarks", type=str, default=None,
             help="comma-separated benchmark subset",
         )
+        p.add_argument("--out", type=pathlib.Path, default=None, help=out_help)
         p.add_argument(
-            "--out", type=pathlib.Path, default=None,
-            help="directory to also write results into",
+            "--workers", type=int, default=None,
+            help="worker processes (default: REPRO_WORKERS or 1)",
+        )
+        p.add_argument(
+            "--stats", action="store_true",
+            help="print engine statistics after the run",
         )
 
     run_parser = sub.add_parser("run", help="run one experiment")
     run_parser.add_argument("experiment", choices=available_experiments())
-    add_settings(run_parser)
+    add_settings(
+        run_parser,
+        out_help=(
+            "file to also write the result into "
+            "(an existing directory gets <experiment>.txt)"
+        ),
+    )
 
     all_parser = sub.add_parser("all", help="run every experiment")
-    add_settings(all_parser)
+    add_settings(all_parser, out_help="directory to also write results into")
+
+    cache_parser = sub.add_parser(
+        "cache", help="inspect or clear the persistent result store"
+    )
+    cache_parser.add_argument("action", choices=["info", "clear"])
     return parser
 
 
@@ -85,19 +109,57 @@ def _settings_from_args(args: argparse.Namespace) -> ExperimentSettings:
     )
 
 
-def _emit(result, out: Optional[pathlib.Path]) -> None:
+def _write_into_dir(result, out: pathlib.Path) -> None:
     from repro.reporting.figures import figure_svg
 
+    out.mkdir(parents=True, exist_ok=True)
+    (out / f"{result.experiment}.txt").write_text(
+        result.text + "\n", encoding="utf-8"
+    )
+    svg = figure_svg(result)
+    if svg is not None:
+        (out / f"{result.experiment}.svg").write_text(svg, encoding="utf-8")
+
+
+def _write_into_file(result, out: pathlib.Path) -> None:
+    from repro.reporting.figures import figure_svg
+
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(result.text + "\n", encoding="utf-8")
+    svg = figure_svg(result)
+    if svg is not None and out.suffix != ".svg":
+        out.with_suffix(".svg").write_text(svg, encoding="utf-8")
+
+
+def _emit(result, out: Optional[pathlib.Path], single: bool = False) -> None:
     print(result.text)
     print()
-    if out is not None:
-        out.mkdir(parents=True, exist_ok=True)
-        (out / f"{result.experiment}.txt").write_text(
-            result.text + "\n", encoding="utf-8"
-        )
-        svg = figure_svg(result)
-        if svg is not None:
-            (out / f"{result.experiment}.svg").write_text(svg, encoding="utf-8")
+    if out is None:
+        return
+    if single and not out.is_dir():
+        _write_into_file(result, out)
+    else:
+        _write_into_dir(result, out)
+
+
+def _cache_command(action: str) -> int:
+    store = get_engine().store
+    if store is None:
+        print("persistent cache disabled (REPRO_CACHE=0)")
+        return 0
+    if action == "clear":
+        removed = store.clear()
+        print(f"removed {removed} cache entries from {store.root}")
+        return 0
+    info = store.info()
+    print(f"cache directory  {info['root']}")
+    print(f"entries          {info['entries']}")
+    print(f"size             {info['bytes'] / 1e6:.2f} MB")
+    cap = info["max_bytes"]
+    print(f"size cap         {'none' if cap is None else f'{cap / 1e6:.0f} MB'}")
+    for kind, count in sorted(info["per_kind"].items()):
+        print(f"  {kind:<14} {count}")
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -110,16 +172,23 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(name)
         return 0
 
+    if args.command == "cache":
+        return _cache_command(args.action)
+
+    if args.workers is not None:
+        configure_engine(workers=args.workers)
+
     settings = _settings_from_args(args)
     if args.command == "run":
         result = run_experiment(args.experiment, settings)
-        _emit(result, args.out)
-        return 0
+        _emit(result, args.out, single=True)
+    else:  # `all`
+        for name in available_experiments():
+            result = run_experiment(name, settings)
+            _emit(result, args.out)
 
-    # `all`
-    for name in available_experiments():
-        result = run_experiment(name, settings)
-        _emit(result, args.out)
+    if args.stats:
+        print(get_engine().stats.summary())
     return 0
 
 

@@ -2,15 +2,35 @@
 
 from __future__ import annotations
 
+import os
+
 from repro.core.errors import ConfigurationError
 
 __all__ = [
+    "env_int",
     "require_positive",
     "require_non_negative",
     "require_in_range",
     "require_power_of_two",
     "require_divides",
 ]
+
+
+def env_int(name: str, default: int) -> int:
+    """Integer environment variable ``name``, or ``default`` when unset.
+
+    Raises :class:`ConfigurationError` naming the variable when the value
+    is not a valid integer, instead of a bare ``ValueError``.
+    """
+    value = os.environ.get(name)
+    if not value:
+        return default
+    try:
+        return int(value)
+    except ValueError:
+        raise ConfigurationError(
+            f"environment variable {name} must be an integer, got {value!r}"
+        ) from None
 
 
 def require_positive(value: float, name: str) -> None:

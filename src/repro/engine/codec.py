@@ -1,0 +1,154 @@
+"""JSON codecs for the persistent result store.
+
+Encodes the two expensive result types — an evaluated
+:class:`~repro.yieldmodel.analysis.PopulationResult` and one pipeline
+:class:`~repro.uarch.simulator.SimResult` — to plain-JSON payloads and
+back. Floats survive exactly (``json`` emits ``repr`` shortest-round-trip
+floats), so a result decoded from disk is bit-identical to the freshly
+computed one; the determinism tests rely on this.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.circuit.cache_model import CacheCircuitResult, WayCircuitResult
+from repro.uarch.simulator import SimResult
+from repro.yieldmodel.analysis import PopulationResult
+from repro.yieldmodel.classify import ChipCase
+from repro.yieldmodel.constraints import ConstraintPolicy, YieldConstraints
+
+__all__ = [
+    "encode_population",
+    "decode_population",
+    "encode_simulation",
+    "decode_simulation",
+    "policy_identity",
+]
+
+
+def policy_identity(policy: ConstraintPolicy) -> Dict[str, object]:
+    """The parameters of a constraint policy, for cache keys."""
+    return {
+        "name": policy.name,
+        "delay_sigma_multiple": policy.delay_sigma_multiple,
+        "leakage_mean_multiple": policy.leakage_mean_multiple,
+    }
+
+
+# ----------------------------------------------------------------------
+# circuit results
+# ----------------------------------------------------------------------
+def _encode_circuit(circuit: CacheCircuitResult) -> dict:
+    return {
+        "chip_id": circuit.chip_id,
+        "hyapd": circuit.hyapd,
+        "ways": [
+            {
+                "way": way.way,
+                "band_delays": list(way.band_delays),
+                "band_leakage": list(way.band_leakage),
+                "peripheral_leakage": way.peripheral_leakage,
+            }
+            for way in circuit.ways
+        ],
+    }
+
+
+def _decode_circuit(data: dict) -> CacheCircuitResult:
+    return CacheCircuitResult(
+        chip_id=int(data["chip_id"]),
+        hyapd=bool(data["hyapd"]),
+        ways=tuple(
+            WayCircuitResult(
+                way=int(way["way"]),
+                band_delays=tuple(way["band_delays"]),
+                band_leakage=tuple(way["band_leakage"]),
+                peripheral_leakage=way["peripheral_leakage"],
+            )
+            for way in data["ways"]
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# populations
+# ----------------------------------------------------------------------
+def encode_population(result: PopulationResult) -> dict:
+    """Flatten a population result (both architectures) to JSON."""
+    return {
+        "policy": policy_identity(result.policy),
+        "constraints": {
+            "delay_limit": result.constraints.delay_limit,
+            "leakage_limit": result.constraints.leakage_limit,
+        },
+        "cases": [_encode_circuit(case.circuit) for case in result.cases],
+        "h_cases": [_encode_circuit(case.circuit) for case in result.h_cases],
+    }
+
+
+def decode_population(payload: dict) -> PopulationResult:
+    """Rebuild a population result from a stored payload."""
+    constraints = YieldConstraints(
+        delay_limit=payload["constraints"]["delay_limit"],
+        leakage_limit=payload["constraints"]["leakage_limit"],
+    )
+    policy = ConstraintPolicy(
+        name=payload["policy"]["name"],
+        delay_sigma_multiple=payload["policy"]["delay_sigma_multiple"],
+        leakage_mean_multiple=payload["policy"]["leakage_mean_multiple"],
+    )
+    return PopulationResult(
+        constraints=constraints,
+        cases=[
+            ChipCase(circuit=_decode_circuit(data), constraints=constraints)
+            for data in payload["cases"]
+        ],
+        h_cases=[
+            ChipCase(circuit=_decode_circuit(data), constraints=constraints)
+            for data in payload["h_cases"]
+        ],
+        policy=policy,
+    )
+
+
+# ----------------------------------------------------------------------
+# simulations
+# ----------------------------------------------------------------------
+def encode_simulation(result: SimResult) -> dict:
+    """Flatten one pipeline simulation result to JSON."""
+    return {
+        "instructions": result.instructions,
+        "cycles": result.cycles,
+        "replays": result.replays,
+        "lbb_stalls": result.lbb_stalls,
+        "slow_way_hits": result.slow_way_hits,
+        "branch_mispredicts": result.branch_mispredicts,
+        "loads": result.loads,
+        "stores": result.stores,
+        "hierarchy_stats": dict(result.hierarchy_stats),
+    }
+
+
+def decode_simulation(payload: dict) -> SimResult:
+    """Rebuild a pipeline simulation result from a stored payload."""
+    return SimResult(
+        instructions=int(payload["instructions"]),
+        cycles=int(payload["cycles"]),
+        replays=int(payload["replays"]),
+        lbb_stalls=int(payload["lbb_stalls"]),
+        slow_way_hits=int(payload["slow_way_hits"]),
+        branch_mispredicts=int(payload["branch_mispredicts"]),
+        loads=int(payload["loads"]),
+        stores=int(payload["stores"]),
+        hierarchy_stats=dict(payload["hierarchy_stats"]),
+    )
+
+
+def way_cycles_identity(
+    way_cycles: Optional[Tuple[Optional[int], ...]]
+) -> Optional[List[Optional[int]]]:
+    """JSON-able form of a way-latency tuple (``None`` entries survive)."""
+    if way_cycles is None:
+        return None
+    return [cycle for cycle in way_cycles]

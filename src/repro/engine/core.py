@@ -1,0 +1,277 @@
+"""The execution engine: sharded compute behind a two-level cache.
+
+Every expensive job the experiments need — evaluating a Monte Carlo chip
+population, running one pipeline simulation — funnels through one
+:class:`Engine`, which satisfies it from (in order):
+
+1. the **in-process memo** (same semantics the old per-module dicts had;
+   ``clear_caches()`` empties exactly this level),
+2. the **persistent store** (`.repro_cache/` by default) keyed by the
+   SHA-256 of the job's full identity, shared across processes and runs,
+3. **computation**, sharded over a :class:`~repro.engine.executor.ShardedExecutor`
+   when more than one worker is configured.
+
+Configuration comes from the environment (overridable per instance):
+
+* ``REPRO_WORKERS`` — worker processes (default 1, the serial path).
+* ``REPRO_CACHE_DIR`` — store location (default ``.repro_cache``).
+* ``REPRO_CACHE`` — set to ``0`` to disable the persistent store.
+* ``REPRO_CACHE_MB`` — store size cap in MiB (default 512).
+* ``REPRO_JOB_TIMEOUT`` — seconds per pool job before retry (default 900).
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import pathlib
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.validation import env_int, require_positive
+from repro.engine.codec import (
+    decode_population,
+    decode_simulation,
+    encode_population,
+    encode_simulation,
+    policy_identity,
+    way_cycles_identity,
+)
+from repro.engine.executor import ShardedExecutor
+from repro.engine.stats import EngineStats
+from repro.engine.store import ResultStore
+from repro.engine.workers import population_shard, simulation_job
+from repro.yieldmodel.constraints import ConstraintPolicy, NOMINAL_POLICY
+
+__all__ = [
+    "EngineConfig",
+    "Engine",
+    "SimulationSpec",
+    "get_engine",
+    "configure_engine",
+    "reset_engine",
+]
+
+#: One simulation request: (benchmark, way_cycles, uniform_latency).
+SimulationSpec = Tuple[str, Optional[Tuple[Optional[int], ...]], Optional[int]]
+
+#: Smallest population shard worth shipping to a worker.
+_MIN_SHARD = 16
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Engine tuning knobs (see module docstring for the env mapping)."""
+
+    workers: int = 1
+    cache_dir: pathlib.Path = pathlib.Path(".repro_cache")
+    persistent: bool = True
+    max_cache_bytes: int = 512 * 1024 * 1024
+    job_timeout: float = 900.0
+
+    def __post_init__(self) -> None:
+        require_positive(self.workers, "workers")
+        require_positive(self.job_timeout, "job_timeout")
+
+    @classmethod
+    def from_env(cls) -> "EngineConfig":
+        """Build the default configuration from ``REPRO_*`` variables."""
+        return cls(
+            workers=env_int("REPRO_WORKERS", 1),
+            cache_dir=pathlib.Path(
+                os.environ.get("REPRO_CACHE_DIR", ".repro_cache")
+            ),
+            persistent=os.environ.get("REPRO_CACHE", "1") != "0",
+            max_cache_bytes=env_int("REPRO_CACHE_MB", 512) * 1024 * 1024,
+            job_timeout=env_int("REPRO_JOB_TIMEOUT", 900),
+        )
+
+
+class Engine:
+    """Parallel, cache-backed executor for populations and simulations."""
+
+    def __init__(self, config: Optional[EngineConfig] = None) -> None:
+        self.config = config if config is not None else EngineConfig.from_env()
+        self.stats = EngineStats(workers=self.config.workers)
+        self.store: Optional[ResultStore] = (
+            ResultStore(self.config.cache_dir, self.config.max_cache_bytes)
+            if self.config.persistent
+            else None
+        )
+        self._executor = ShardedExecutor(
+            workers=self.config.workers, timeout=self.config.job_timeout
+        )
+        self._memo: Dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    # cache plumbing
+    # ------------------------------------------------------------------
+    def clear_memory(self) -> None:
+        """Drop the in-process memo (the old ``clear_caches`` semantics)."""
+        self._memo.clear()
+
+    def _lookup(self, kind: str, key: str, decode):
+        """Memo then store; ``None`` when the job must be computed."""
+        if key in self._memo:
+            self.stats.jobs_cached_memory += 1
+            return self._memo[key]
+        if self.store is not None:
+            payload = self.store.load(kind, key)
+            if payload is not None:
+                try:
+                    result = decode(payload)
+                except (KeyError, TypeError, ValueError):
+                    return None  # stale/garbled payload: recompute
+                self.stats.jobs_cached_disk += 1
+                self._memo[key] = result
+                return result
+        return None
+
+    def _settle(self, kind: str, key: str, result, encode) -> None:
+        self._memo[key] = result
+        if self.store is not None:
+            self.store.save(kind, key, encode(result))
+
+    # ------------------------------------------------------------------
+    # populations
+    # ------------------------------------------------------------------
+    def population(self, settings, policy: ConstraintPolicy = NOMINAL_POLICY):
+        """The evaluated Monte Carlo population for ``settings``/``policy``."""
+        identity = {
+            "seed": settings.seed,
+            "chips": settings.chips,
+            "policy": policy_identity(policy),
+        }
+        key = ResultStore.key_for("population", identity)
+        cached = self._lookup("population", key, decode_population)
+        if cached is not None:
+            return cached
+        with self.stats.stage("population"):
+            result = self._compute_population(settings, policy)
+        self._settle("population", key, result, encode_population)
+        return result
+
+    def _compute_population(self, settings, policy: ConstraintPolicy):
+        from repro.yieldmodel.analysis import YieldStudy
+
+        study = YieldStudy(
+            seed=settings.seed, count=settings.chips, policy=policy
+        )
+        jobs = self._population_jobs(settings.seed, settings.chips)
+        shards = self._executor.run(population_shard, jobs, self.stats)
+        regular = [circuit for shard in shards for circuit in shard[0]]
+        horizontal = [circuit for shard in shards for circuit in shard[1]]
+        return study.assemble(regular, horizontal)
+
+    def _population_jobs(self, seed: int, chips: int) -> List[Tuple[int, int, int]]:
+        """Split ``chips`` ids into shard jobs (one job on the serial path).
+
+        Per-chip RNG streams depend only on ``(seed, chip_id)``, so the
+        concatenated shards are bit-identical to the serial evaluation
+        for any layout; the layout only affects load balance.
+        """
+        if self.config.workers <= 1:
+            return [(seed, 0, chips)]
+        shard = max(_MIN_SHARD, math.ceil(chips / (self.config.workers * 4)))
+        return [
+            (seed, start, min(start + shard, chips))
+            for start in range(0, chips, shard)
+        ]
+
+    # ------------------------------------------------------------------
+    # simulations
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _simulation_identity(settings, spec: SimulationSpec) -> Dict[str, object]:
+        benchmark, way_cycles, uniform_latency = spec
+        return {
+            "seed": settings.seed,
+            "trace_length": settings.trace_length,
+            "warmup": settings.warmup,
+            "benchmark": benchmark,
+            "way_cycles": way_cycles_identity(way_cycles),
+            "uniform_latency": uniform_latency,
+        }
+
+    def simulate(
+        self,
+        settings,
+        benchmark: str,
+        way_cycles: Optional[Tuple[Optional[int], ...]] = None,
+        uniform_latency: Optional[int] = None,
+    ):
+        """One benchmark under one L1D configuration (cached)."""
+        return self.simulate_many(
+            settings, [(benchmark, way_cycles, uniform_latency)]
+        )[0]
+
+    def simulate_many(self, settings, specs: List[SimulationSpec]):
+        """Run many simulations, dispatching cache misses in parallel.
+
+        Returns results in ``specs`` order. Experiments that sweep
+        benchmark × configuration call this once up front so the pool
+        sees every independent job at the same time.
+        """
+        identities = [self._simulation_identity(settings, s) for s in specs]
+        keys = [ResultStore.key_for("simulation", i) for i in identities]
+        results: List[object] = [None] * len(specs)
+        misses: List[int] = []
+        seen: Dict[str, int] = {}
+        for index, key in enumerate(keys):
+            cached = self._lookup("simulation", key, decode_simulation)
+            if cached is not None:
+                results[index] = cached
+            elif key in seen:
+                continue  # duplicate spec within this batch
+            else:
+                seen[key] = index
+                misses.append(index)
+        if misses:
+            with self.stats.stage("simulation"):
+                computed = self._executor.run(
+                    simulation_job, [identities[i] for i in misses], self.stats
+                )
+            for index, result in zip(misses, computed):
+                self._settle("simulation", keys[index], result, encode_simulation)
+        for index, key in enumerate(keys):
+            if results[index] is None:
+                results[index] = self._memo[key]
+        return results
+
+
+# ----------------------------------------------------------------------
+# the process-wide engine
+# ----------------------------------------------------------------------
+_ENGINE: Optional[Engine] = None
+
+
+def get_engine() -> Engine:
+    """The process-wide engine (created lazily from the environment)."""
+    global _ENGINE
+    if _ENGINE is None:
+        _ENGINE = Engine()
+    return _ENGINE
+
+
+def configure_engine(**overrides) -> Engine:
+    """Replace the process-wide engine with selected overrides.
+
+    Accepts any :class:`EngineConfig` field (``workers``, ``cache_dir``,
+    ``persistent``, ``max_cache_bytes``, ``job_timeout``); unspecified
+    fields come from the environment. The CLI's ``--workers`` flag and
+    the tests go through here.
+    """
+    global _ENGINE
+    config = EngineConfig.from_env()
+    if overrides:
+        if "cache_dir" in overrides:
+            overrides["cache_dir"] = pathlib.Path(overrides["cache_dir"])
+        config = replace(config, **overrides)
+    _ENGINE = Engine(config)
+    return _ENGINE
+
+
+def reset_engine() -> None:
+    """Forget the process-wide engine (tests; env changes take effect)."""
+    global _ENGINE
+    _ENGINE = None

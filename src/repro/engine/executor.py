@@ -1,0 +1,141 @@
+"""Sharded job dispatch with a serial fallback and graceful degradation.
+
+:class:`ShardedExecutor` runs a list of independent jobs through one
+function and returns their results in job order. With ``workers <= 1``
+(or a single job) everything runs in-process; otherwise jobs are
+dispatched over a ``ProcessPoolExecutor``. A job that fails or times out
+in the pool is retried once, and if it fails again — or the pool itself
+breaks — it degrades to in-process execution, so a crashed worker can
+slow an experiment down but never fail it.
+
+Job functions must be module-level (picklable); results are whatever the
+function returns (picklable dataclasses throughout this package). Per-job
+compute time is measured inside the worker and fed into
+:class:`~repro.engine.stats.EngineStats` for the utilisation report.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
+
+from repro.engine.stats import EngineStats
+
+__all__ = ["ShardedExecutor"]
+
+J = TypeVar("J")
+R = TypeVar("R")
+
+
+def _timed_call(func: Callable[[J], R], job: J) -> Tuple[float, R]:
+    """Run ``func(job)`` and return (compute seconds, result)."""
+    start = time.perf_counter()
+    result = func(job)
+    return time.perf_counter() - start, result
+
+
+def _pool_context():
+    """Prefer fork (cheap, inherits the parent's modules) when available."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return None
+
+
+class ShardedExecutor:
+    """Dispatches independent jobs, serially or over a process pool.
+
+    Parameters
+    ----------
+    workers:
+        Worker-process count; ``<= 1`` selects the serial path.
+    timeout:
+        Seconds allowed per pool job before it is retried/degraded.
+    """
+
+    def __init__(self, workers: int = 1, timeout: float = 900.0) -> None:
+        self.workers = max(1, int(workers))
+        self.timeout = float(timeout)
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        func: Callable[[J], R],
+        jobs: Sequence[J],
+        stats: Optional[EngineStats] = None,
+    ) -> List[R]:
+        """Run every job through ``func``; results come back in order."""
+        stats = stats if stats is not None else EngineStats(self.workers)
+        if not jobs:
+            return []
+        if self.workers <= 1 or len(jobs) <= 1:
+            return [self._run_local(func, job, stats) for job in jobs]
+        return self._run_pool(func, jobs, stats)
+
+    # ------------------------------------------------------------------
+    def _run_local(
+        self,
+        func: Callable[[J], R],
+        job: J,
+        stats: EngineStats,
+        degraded: bool = False,
+    ) -> R:
+        elapsed, result = _timed_call(func, job)
+        stats.jobs_run += 1
+        stats.busy_seconds += elapsed
+        if degraded:
+            stats.jobs_degraded += 1
+        return result
+
+    def _run_pool(
+        self, func: Callable[[J], R], jobs: Sequence[J], stats: EngineStats
+    ) -> List[R]:
+        start = time.perf_counter()
+        pool = ProcessPoolExecutor(
+            max_workers=min(self.workers, len(jobs)),
+            mp_context=_pool_context(),
+        )
+        pool_alive = True
+
+        def attempt(job: J) -> R:
+            future = pool.submit(_timed_call, func, job)
+            elapsed, result = future.result(timeout=self.timeout)
+            stats.jobs_run += 1
+            stats.busy_seconds += elapsed
+            return result
+
+        results: List[R] = []
+        try:
+            futures = [pool.submit(_timed_call, func, job) for job in jobs]
+            for job, future in zip(jobs, futures):
+                if not pool_alive:
+                    results.append(self._run_local(func, job, stats, degraded=True))
+                    continue
+                try:
+                    elapsed, result = future.result(timeout=self.timeout)
+                    stats.jobs_run += 1
+                    stats.busy_seconds += elapsed
+                    results.append(result)
+                    continue
+                except BrokenProcessPool:
+                    pool_alive = False
+                    results.append(self._run_local(func, job, stats, degraded=True))
+                    continue
+                except (FutureTimeoutError, Exception):
+                    stats.jobs_retried += 1
+                try:
+                    results.append(attempt(job))
+                except BrokenProcessPool:
+                    pool_alive = False
+                    results.append(self._run_local(func, job, stats, degraded=True))
+                except (FutureTimeoutError, Exception):
+                    results.append(self._run_local(func, job, stats, degraded=True))
+        finally:
+            # Never block on stragglers (e.g. a hung worker we timed out).
+            pool.shutdown(wait=False, cancel_futures=True)
+            stats.pool_seconds += time.perf_counter() - start
+        return results

@@ -1,0 +1,111 @@
+"""Execution statistics for the parallel engine.
+
+:class:`EngineStats` counts where every logical job (a population shard
+or one pipeline simulation) was satisfied — computed, replayed from the
+in-process memo, or loaded from the persistent store — and accumulates
+wall time per stage so ``repro run --stats`` can report how a run spent
+its time and how well the worker pool was utilised.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+
+__all__ = ["EngineStats"]
+
+
+@dataclass
+class EngineStats:
+    """Counters and timings for one engine lifetime.
+
+    Attributes
+    ----------
+    workers:
+        Configured worker-process count.
+    jobs_run:
+        Jobs actually computed (in a worker or in-process).
+    jobs_cached_memory, jobs_cached_disk:
+        Jobs satisfied by the in-process memo / the persistent store.
+    jobs_retried:
+        Pool jobs re-submitted after a failure or timeout.
+    jobs_degraded:
+        Jobs that fell back to in-process execution after the pool
+        failed them twice.
+    busy_seconds:
+        Summed per-job compute wall time (measured inside the worker).
+    pool_seconds:
+        Wall time spent inside parallel dispatch sections.
+    stage_seconds:
+        Wall time per named stage (``population``, ``simulation``,
+        ``experiment:<name>`` ...).
+    """
+
+    workers: int = 1
+    jobs_run: int = 0
+    jobs_cached_memory: int = 0
+    jobs_cached_disk: int = 0
+    jobs_retried: int = 0
+    jobs_degraded: int = 0
+    busy_seconds: float = 0.0
+    pool_seconds: float = 0.0
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @property
+    def jobs_cached(self) -> int:
+        """Jobs satisfied without computing (memo + store)."""
+        return self.jobs_cached_memory + self.jobs_cached_disk
+
+    @property
+    def jobs_total(self) -> int:
+        """All jobs the engine was asked for."""
+        return self.jobs_run + self.jobs_cached
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the pool's capacity kept busy during dispatch."""
+        if self.pool_seconds <= 0.0 or self.workers <= 0:
+            return 0.0
+        return min(1.0, self.busy_seconds / (self.pool_seconds * self.workers))
+
+    # ------------------------------------------------------------------
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Accumulate the wall time of a ``with`` block under ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.stage_seconds[name] = self.stage_seconds.get(name, 0.0) + elapsed
+
+    def reset(self) -> None:
+        """Zero every counter and timing (the worker count is kept)."""
+        self.jobs_run = 0
+        self.jobs_cached_memory = 0
+        self.jobs_cached_disk = 0
+        self.jobs_retried = 0
+        self.jobs_degraded = 0
+        self.busy_seconds = 0.0
+        self.pool_seconds = 0.0
+        self.stage_seconds = {}
+
+    def summary(self) -> str:
+        """Human-readable multi-line report (``repro run --stats``)."""
+        lines = [
+            "== engine statistics ==",
+            f"workers            {self.workers}",
+            f"jobs run           {self.jobs_run}",
+            f"jobs cached (memo) {self.jobs_cached_memory}",
+            f"jobs cached (disk) {self.jobs_cached_disk}",
+            f"jobs retried       {self.jobs_retried}",
+            f"jobs degraded      {self.jobs_degraded}",
+            f"busy seconds       {self.busy_seconds:.3f}",
+            f"pool utilization   {self.utilization * 100:.1f}%",
+        ]
+        for name in sorted(self.stage_seconds):
+            lines.append(f"stage {name:<24} {self.stage_seconds[name]:.3f}s")
+        return "\n".join(lines)

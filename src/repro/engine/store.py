@@ -1,0 +1,184 @@
+"""Content-addressed persistent result store.
+
+Every expensive result (an evaluated Monte Carlo population, one pipeline
+simulation) is stored as one JSON file under ``<root>/<kind>/<key>.json``,
+where ``key`` is the SHA-256 of a canonical JSON encoding of the job's
+full identity (schema version, kind, and every parameter that influences
+the result). Properties:
+
+* **Content addressing** — identical work always lands on the same file,
+  across processes and machines; a parameter change produces a new key.
+* **Versioned schema** — the schema version participates in the key and
+  is re-checked on load, so upgrading the on-disk format silently
+  invalidates old entries instead of misreading them.
+* **Corruption tolerance** — a truncated, garbled, or wrong-version entry
+  is discarded (and unlinked) on load and simply recomputed; a broken
+  cache can never fail an experiment.
+* **LRU size cap** — loads refresh an entry's mtime; saves evict the
+  stalest entries once the store exceeds its byte budget.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+import tempfile
+from typing import Dict, List, Optional
+
+__all__ = ["ResultStore", "SCHEMA_VERSION", "canonical_json"]
+
+#: Bump when the payload encoding of any kind changes incompatibly.
+SCHEMA_VERSION = 1
+
+
+def canonical_json(value: object) -> str:
+    """Deterministic JSON encoding (sorted keys, no whitespace)."""
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+class ResultStore:
+    """On-disk JSON store with content-addressed keys and an LRU cap.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the store (created lazily on first save).
+    max_bytes:
+        Byte budget; ``None`` or ``<= 0`` disables eviction.
+    """
+
+    def __init__(
+        self, root: pathlib.Path, max_bytes: Optional[int] = None
+    ) -> None:
+        self.root = pathlib.Path(root)
+        self.max_bytes = max_bytes if max_bytes and max_bytes > 0 else None
+
+    # ------------------------------------------------------------------
+    # keys and paths
+    # ------------------------------------------------------------------
+    @staticmethod
+    def key_for(kind: str, identity: Dict[str, object]) -> str:
+        """SHA-256 key of a job identity (version and kind included)."""
+        body = canonical_json(
+            {"version": SCHEMA_VERSION, "kind": kind, "identity": identity}
+        )
+        return hashlib.sha256(body.encode("utf-8")).hexdigest()
+
+    def path_for(self, kind: str, key: str) -> pathlib.Path:
+        """The file that would hold entry ``(kind, key)``."""
+        return self.root / kind / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    # load / save
+    # ------------------------------------------------------------------
+    def load(self, kind: str, key: str) -> Optional[dict]:
+        """The stored payload, or ``None`` when absent or unreadable."""
+        path = self.path_for(kind, key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                wrapper = json.load(handle)
+            if (
+                not isinstance(wrapper, dict)
+                or wrapper.get("version") != SCHEMA_VERSION
+                or wrapper.get("kind") != kind
+                or "payload" not in wrapper
+            ):
+                raise ValueError("bad store entry")
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError):
+            # Corrupt or foreign entry: discard it so it is recomputed.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        try:
+            os.utime(path)  # refresh LRU recency
+        except OSError:
+            pass
+        return wrapper["payload"]
+
+    def save(self, kind: str, key: str, payload: dict) -> None:
+        """Atomically persist ``payload`` under ``(kind, key)``."""
+        path = self.path_for(kind, key)
+        wrapper = {"version": SCHEMA_VERSION, "kind": kind, "payload": payload}
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=str(path.parent), prefix=".tmp-", suffix=".json"
+            )
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump(wrapper, handle, separators=(",", ":"))
+                os.replace(tmp, path)
+            finally:
+                if os.path.exists(tmp):
+                    os.unlink(tmp)
+        except OSError:
+            return  # a read-only or full disk must never fail the run
+        self._enforce_cap()
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def entries(self) -> List[pathlib.Path]:
+        """Every entry file currently in the store."""
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("*/*.json"))
+
+    def info(self) -> Dict[str, object]:
+        """Store location, entry count, and sizes (``repro cache info``)."""
+        entries = self.entries()
+        total = 0
+        per_kind: Dict[str, int] = {}
+        for path in entries:
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue
+            kind = path.parent.name
+            per_kind[kind] = per_kind.get(kind, 0) + 1
+        return {
+            "root": str(self.root),
+            "entries": len(entries),
+            "bytes": total,
+            "max_bytes": self.max_bytes,
+            "per_kind": per_kind,
+        }
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in self.entries():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                continue
+        return removed
+
+    def _enforce_cap(self) -> None:
+        """Evict least-recently-used entries beyond the byte budget."""
+        if self.max_bytes is None:
+            return
+        stamped = []
+        total = 0
+        for path in self.entries():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            stamped.append((stat.st_mtime, stat.st_size, path))
+            total += stat.st_size
+        stamped.sort()  # oldest access first
+        while total > self.max_bytes and len(stamped) > 1:
+            _, size, path = stamped.pop(0)
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size

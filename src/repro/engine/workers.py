@@ -1,0 +1,85 @@
+"""Job functions executed inside worker processes.
+
+Both functions are module-level (picklable by qualified name) and take a
+single plain-data job argument, so the executor can ship them over a
+``ProcessPoolExecutor`` unchanged and also run them in-process for the
+serial path and the degraded-retry path.
+
+Determinism: a population shard covers chip ids ``[start, stop)`` and
+every chip's RNG is derived from ``(seed, chip_id)`` alone, so any
+sharding of the id range concatenates to the exact serial population.
+A simulation job's trace RNG is derived from ``(seed, benchmark)``, so
+one job is one complete, self-contained simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.circuit.cache_model import CacheCircuitResult
+
+__all__ = ["population_shard", "simulation_job"]
+
+#: Population shard job: (seed, start chip id, stop chip id).
+PopulationJob = Tuple[int, int, int]
+
+#: Simulation job: plain-dict identity (see :func:`simulation_job`).
+SimulationJob = Dict[str, object]
+
+
+def population_shard(
+    job: PopulationJob,
+) -> Tuple[List[CacheCircuitResult], List[CacheCircuitResult]]:
+    """Evaluate chips ``[start, stop)`` of a Monte Carlo population.
+
+    Returns the (regular, H-YAPD) circuit results for the shard; the
+    parent process concatenates shards in order and derives constraints
+    over the full population, which makes the result independent of the
+    shard layout.
+    """
+    from repro.yieldmodel.analysis import YieldStudy
+
+    seed, start, stop = job
+    study = YieldStudy(seed=seed, count=max(stop, 1))
+    return study.evaluate_chips(start, stop)
+
+
+def simulation_job(job: SimulationJob):
+    """Run one benchmark under one L1D configuration.
+
+    ``job`` carries ``seed``, ``trace_length``, ``warmup``, ``benchmark``,
+    and either ``way_cycles`` (list with ``None`` for disabled ways) or
+    ``uniform_latency`` (naive binning), matching
+    :func:`repro.experiments.common.simulate_config`.
+    """
+    from repro.cache.setassoc import WayConfig
+    from repro.uarch import PAPER_CORE, Simulator
+    from repro.workloads import TraceGenerator, get_profile
+
+    seed = int(job["seed"])
+    trace_length = int(job["trace_length"])
+    warmup = int(job["warmup"])
+    benchmark = str(job["benchmark"])
+    way_cycles = job.get("way_cycles")
+    uniform_latency = job.get("uniform_latency")
+
+    profile = get_profile(benchmark)
+    trace = TraceGenerator(profile, seed=seed).generate(warmup + trace_length)
+    core = PAPER_CORE
+    l1d_config = None
+    if uniform_latency is not None:
+        core = core.replace(predicted_load_latency=int(uniform_latency))
+    elif way_cycles is not None:
+        l1d_config = WayConfig(
+            latencies=tuple(
+                None if cycle is None else int(cycle) for cycle in way_cycles
+            )
+        )
+    simulator = Simulator(
+        core=core,
+        l1d_config=l1d_config,
+        uniform_load_latency=(
+            None if uniform_latency is None else int(uniform_latency)
+        ),
+    )
+    return simulator.run(trace, warmup=warmup)

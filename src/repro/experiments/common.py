@@ -12,7 +12,11 @@ scaling without touching code:
 * ``REPRO_SEED`` — experiment seed.
 
 The expensive inputs — the evaluated chip population and per-benchmark
-pipeline results — are memoised per settings instance within the process.
+pipeline results — are produced by the :mod:`repro.engine` subsystem:
+parallel across worker processes (``REPRO_WORKERS`` / ``--workers``),
+memoised in-process, and persisted under ``.repro_cache/`` so repeated
+runs skip completed work. :func:`clear_caches` drops only the in-process
+level, exactly as the old per-module dicts did.
 """
 
 from __future__ import annotations
@@ -21,12 +25,12 @@ import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.cache.setassoc import WayConfig
-from repro.core.validation import require_positive
+from repro.core.validation import env_int, require_positive
+from repro.engine import SimulationSpec, get_engine
 from repro.schemes import Hybrid, HybridHorizontal, HYAPD, VACA, YAPD
-from repro.uarch import PAPER_CORE, SimResult, Simulator
-from repro.workloads import SPEC2000_ALL, TraceGenerator, get_profile
-from repro.yieldmodel import PopulationResult, YieldStudy
+from repro.uarch import SimResult
+from repro.workloads import SPEC2000_ALL, get_profile
+from repro.yieldmodel import PopulationResult
 from repro.yieldmodel.constraints import (
     ConstraintPolicy,
     NOMINAL_POLICY,
@@ -39,13 +43,14 @@ __all__ = [
     "population",
     "benchmark_names",
     "simulate_config",
+    "simulate_many",
     "scheme_set",
 ]
 
 
 def _env_int(name: str, default: int) -> int:
-    value = os.environ.get(name)
-    return int(value) if value else default
+    """Integer env var with a :class:`ConfigurationError` naming it."""
+    return env_int(name, default)
 
 
 @dataclass(frozen=True)
@@ -71,6 +76,11 @@ class ExperimentSettings:
         require_positive(self.trace_length, "trace_length")
         if self.warmup < 0:
             raise ValueError("warmup must be >= 0")
+        if self.benchmarks is not None:
+            # Validate eagerly: an unknown name raises ConfigurationError
+            # here instead of deep inside an experiment run.
+            for name in self.benchmarks:
+                get_profile(name)
 
 
 @dataclass
@@ -114,23 +124,13 @@ def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> st
 
 
 # ----------------------------------------------------------------------
-# memoised expensive inputs
+# expensive inputs (computed by the engine: parallel + two-level cache)
 # ----------------------------------------------------------------------
-_POPULATIONS: Dict[Tuple[int, int, str], PopulationResult] = {}
-_SIMS: Dict[Tuple, SimResult] = {}
-
-
 def population(
     settings: ExperimentSettings, policy: ConstraintPolicy = NOMINAL_POLICY
 ) -> PopulationResult:
     """The evaluated Monte Carlo chip population for these settings."""
-    key = (settings.seed, settings.chips, policy.name)
-    if key not in _POPULATIONS:
-        study = YieldStudy(
-            seed=settings.seed, count=settings.chips, policy=policy
-        )
-        _POPULATIONS[key] = study.run()
-    return _POPULATIONS[key]
+    return get_engine().population(settings, policy)
 
 
 def benchmark_names(settings: ExperimentSettings) -> List[str]:
@@ -146,41 +146,29 @@ def simulate_config(
     way_cycles: Optional[Tuple[Optional[int], ...]] = None,
     uniform_latency: Optional[int] = None,
 ) -> SimResult:
-    """Run (memoised) one benchmark under one L1D configuration.
+    """Run (cached) one benchmark under one L1D configuration.
 
     ``way_cycles`` is a tuple of per-way latencies with ``None`` for
     disabled ways; ``None`` overall means the healthy baseline.
     ``uniform_latency`` selects naive binning instead (the scheduler's
     predicted load latency is raised to match).
     """
-    key = (
-        settings.seed,
-        settings.trace_length,
-        settings.warmup,
-        benchmark,
-        way_cycles,
-        uniform_latency,
+    return get_engine().simulate(
+        settings, benchmark, way_cycles=way_cycles, uniform_latency=uniform_latency
     )
-    if key in _SIMS:
-        return _SIMS[key]
-    profile = get_profile(benchmark)
-    trace = TraceGenerator(profile, seed=settings.seed).generate(
-        settings.warmup + settings.trace_length
-    )
-    core = PAPER_CORE
-    l1d_config = None
-    if uniform_latency is not None:
-        core = core.replace(predicted_load_latency=uniform_latency)
-    elif way_cycles is not None:
-        l1d_config = WayConfig(latencies=way_cycles)
-    simulator = Simulator(
-        core=core,
-        l1d_config=l1d_config,
-        uniform_load_latency=uniform_latency,
-    )
-    result = simulator.run(trace, warmup=settings.warmup)
-    _SIMS[key] = result
-    return result
+
+
+def simulate_many(
+    settings: ExperimentSettings, specs: List[SimulationSpec]
+) -> List[SimResult]:
+    """Run a batch of simulations, dispatching the misses in parallel.
+
+    ``specs`` entries are ``(benchmark, way_cycles, uniform_latency)``;
+    results come back in the same order. Experiments that sweep
+    benchmark × configuration call this once up front so independent
+    jobs land on the worker pool together.
+    """
+    return get_engine().simulate_many(settings, specs)
 
 
 def scheme_set(horizontal: bool = False):
@@ -191,6 +179,9 @@ def scheme_set(horizontal: bool = False):
 
 
 def clear_caches() -> None:
-    """Drop memoised populations and simulations (tests use this)."""
-    _POPULATIONS.clear()
-    _SIMS.clear()
+    """Drop in-process memoised populations and simulations (tests use this).
+
+    The persistent ``.repro_cache/`` store is untouched; use
+    ``repro cache clear`` for that.
+    """
+    get_engine().clear_memory()

@@ -20,6 +20,7 @@ from repro.experiments.common import (
     ExperimentSettings,
     benchmark_names,
     simulate_config,
+    simulate_many,
 )
 from repro.yieldmodel.constraints import BASE_ACCESS_CYCLES
 
@@ -34,9 +35,22 @@ def _per_benchmark(
     configs: List[Tuple[str, Optional[Tuple[Optional[int], ...]], Optional[int]]],
 ) -> Tuple[List[List[object]], dict]:
     """Rows of per-benchmark degradations for the given configurations."""
+    names = benchmark_names(settings)
+    # Prefetch the whole benchmark x configuration sweep in one batch so
+    # the engine can dispatch every cache miss to the worker pool at once;
+    # the per-cell lookups below then hit the in-process memo.
+    simulate_many(
+        settings,
+        [
+            (name, cycles, uniform)
+            for name in names
+            for cycles, uniform in [(None, None)]
+            + [(cycles, uniform) for _, cycles, uniform in configs]
+        ],
+    )
     rows: List[List[object]] = []
     series: dict = {label: {} for label, _, _ in configs}
-    for name in benchmark_names(settings):
+    for name in names:
         base = simulate_config(settings, name)
         row: List[object] = [name, round(base.cpi, 3)]
         for label, cycles, uniform in configs:

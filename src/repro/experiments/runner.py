@@ -9,6 +9,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional
 
 from repro.core.errors import ConfigurationError
+from repro.engine import get_engine
 from repro.experiments import fig1, fig8, sec42, sensor_study
 from repro.experiments.designspace import (
     run_ablation_assoc,
@@ -63,4 +64,7 @@ def run_experiment(
         )
     if settings is None:
         settings = ExperimentSettings()
-    return EXPERIMENTS[name](settings)
+    # Book the experiment's wall time as an engine stage so
+    # `repro run --stats` breaks a run down per artefact.
+    with get_engine().stats.stage(f"experiment:{name}"):
+        return EXPERIMENTS[name](settings)

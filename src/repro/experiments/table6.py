@@ -27,6 +27,7 @@ from repro.experiments.common import (
     benchmark_names,
     population,
     simulate_config,
+    simulate_many,
 )
 from repro.schemes import Hybrid
 from repro.yieldmodel.constraints import BASE_ACCESS_CYCLES
@@ -116,6 +117,25 @@ def run(settings: ExperimentSettings) -> ExperimentResult:
     census = pop.configuration_census(Hybrid(), horizontal=False)
 
     schemes = ("YAPD", "VACA", "Hybrid")
+
+    # Prefetch every distinct (benchmark, way-config) simulation the table
+    # needs — plus the healthy baselines — as one parallel batch.
+    needed = {
+        cycles
+        for config in CONFIG_ORDER
+        for scheme in schemes
+        if (cycles := config_way_cycles(config, scheme)) is not None
+    }
+    simulate_many(
+        settings,
+        [(name, None, None) for name in benchmark_names(settings)]
+        + [
+            (name, cycles, None)
+            for cycles in sorted(needed, key=str)
+            for name in benchmark_names(settings)
+        ],
+    )
+
     deg_cache: Dict[Tuple[Optional[int], ...], float] = {}
 
     def deg_for(config: str, scheme: str) -> Optional[float]:

@@ -22,11 +22,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
-from repro.circuit.cache_model import CacheCircuitModel
+from repro.circuit.cache_model import CacheCircuitModel, CacheCircuitResult
 from repro.circuit.organization import CacheOrganization, PAPER_ORGANIZATION
 from repro.circuit.technology import Technology, TECH45
+from repro.core.errors import ConfigurationError
 from repro.core.validation import require_positive
-from repro.variation.montecarlo import MonteCarloEngine, PAPER_POPULATION
+from repro.variation.montecarlo import PAPER_POPULATION
 from repro.variation.sampling import CacheVariationSampler
 from repro.yieldmodel.classify import ChipCase, LossReason
 from repro.yieldmodel.constraints import (
@@ -263,22 +264,50 @@ class YieldStudy:
     def __post_init__(self) -> None:
         require_positive(self.count, "count")
 
-    def run(self) -> PopulationResult:
-        """Sample, evaluate both architectures, derive limits, classify."""
+    def evaluate_chips(
+        self, start: int, stop: int
+    ) -> Tuple[List["CacheCircuitResult"], List["CacheCircuitResult"]]:
+        """Evaluate chip ids ``[start, stop)`` under both architectures.
+
+        This is the shardable half of :meth:`run`: each chip's RNG stream
+        is derived from ``(seed, chip_id)`` alone, so disjoint id ranges
+        can be evaluated in any order — or in parallel processes — and
+        concatenated into the exact serial population.
+        """
+        if not 0 <= start <= stop:
+            raise ConfigurationError(
+                f"invalid chip range [{start}, {stop})"
+            )
         regular_model = CacheCircuitModel(
             tech=self.tech, org=self.organization, hyapd=False
         )
         hyapd_model = CacheCircuitModel(
             tech=self.tech, org=self.organization, hyapd=True
         )
-        engine = MonteCarloEngine(self.sampler, seed=self.seed)
-
         regular = []
         horizontal = []
-        for cvmap in engine.chips(self.count):
+        for chip_id in range(start, stop):
+            cvmap = self.sampler.sample_chip(self.seed, chip_id)
             regular.append(regular_model.evaluate(cvmap))
             horizontal.append(hyapd_model.evaluate(cvmap))
+        return regular, horizontal
 
+    def assemble(
+        self,
+        regular: List["CacheCircuitResult"],
+        horizontal: List["CacheCircuitResult"],
+    ) -> PopulationResult:
+        """Derive limits over the full population and classify every chip.
+
+        ``regular``/``horizontal`` are the concatenated shard outputs of
+        :meth:`evaluate_chips` in chip-id order. Limits always come from
+        the complete regular population (never per shard), so assembly is
+        independent of how the evaluation was split.
+        """
+        if len(regular) != len(horizontal):
+            raise ConfigurationError(
+                "regular and horizontal populations differ in size"
+            )
         constraints = self.policy.derive(
             [r.access_delay for r in regular],
             [r.total_leakage for r in regular],
@@ -291,3 +320,7 @@ class YieldStudy:
             ],
             policy=self.policy,
         )
+
+    def run(self) -> PopulationResult:
+        """Sample, evaluate both architectures, derive limits, classify."""
+        return self.assemble(*self.evaluate_chips(0, self.count))

@@ -27,6 +27,7 @@ from repro.core.validation import require_in_range, require_positive
 
 __all__ = [
     "wilson_interval",
+    "bootstrap_replicates",
     "bootstrap_interval",
     "scheme_yield_interval",
     "loss_reduction_interval",
@@ -73,6 +74,34 @@ def wilson_interval(
     return (low, high)
 
 
+def bootstrap_replicates(
+    values: Sequence[float],
+    statistic: Callable[[np.ndarray], float] = np.mean,
+    resamples: int = 2000,
+    seed: int = 0,
+    start: int = 0,
+) -> np.ndarray:
+    """``resamples`` bootstrap replicates of ``statistic`` over ``values``.
+
+    Shardable: replicate ``i`` draws from an RNG derived from
+    ``(seed, start + i)`` alone, so disjoint ``(start, resamples)`` chunks
+    computed anywhere concatenate to the exact serial replicate vector.
+    """
+    if not len(values):
+        raise ConfigurationError("values must be non-empty")
+    require_positive(resamples, "resamples")
+    if start < 0:
+        raise ConfigurationError(f"start must be >= 0, got {start}")
+    data = np.asarray(values, dtype=float)
+    stats = np.empty(resamples)
+    n = len(data)
+    for i in range(resamples):
+        rng = spawn(seed, f"bootstrap-{start + i}")
+        sample = data[rng.integers(0, n, size=n)]
+        stats[i] = statistic(sample)
+    return stats
+
+
 def bootstrap_interval(
     values: Sequence[float],
     statistic: Callable[[np.ndarray], float] = np.mean,
@@ -81,17 +110,10 @@ def bootstrap_interval(
     seed: int = 0,
 ) -> Tuple[float, float]:
     """Percentile bootstrap interval of ``statistic`` over ``values``."""
-    if not len(values):
-        raise ConfigurationError("values must be non-empty")
-    require_positive(resamples, "resamples")
     require_in_range(confidence, 0.5, 0.999, "confidence")
-    rng = spawn(seed, "bootstrap")
-    data = np.asarray(values, dtype=float)
-    stats = np.empty(resamples)
-    n = len(data)
-    for i in range(resamples):
-        sample = data[rng.integers(0, n, size=n)]
-        stats[i] = statistic(sample)
+    stats = bootstrap_replicates(
+        values, statistic=statistic, resamples=resamples, seed=seed
+    )
     alpha = (1.0 - confidence) / 2.0
     return (
         float(np.quantile(stats, alpha)),

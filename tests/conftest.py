@@ -2,13 +2,29 @@
 
 from __future__ import annotations
 
+import os
 from typing import Optional, Sequence, Tuple
 
 import pytest
 
 from repro.circuit.cache_model import CacheCircuitResult, WayCircuitResult
+from repro.engine import reset_engine
 from repro.yieldmodel.classify import ChipCase
 from repro.yieldmodel.constraints import YieldConstraints
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_engine(tmp_path_factory):
+    """Keep the engine's persistent store out of the working tree.
+
+    Tests get a per-session cache directory, so runs stay hermetic (no
+    stale `.repro_cache/` entries from older code) while populations
+    computed early in the session are still reused by later modules.
+    """
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("repro-cache"))
+    reset_engine()
+    yield
+    reset_engine()
 
 
 def make_way(

@@ -38,12 +38,25 @@ class TestEnvironmentScaling:
         settings = ExperimentSettings(benchmarks=("mcf", "gzip"))
         assert benchmark_names(settings) == ["mcf", "gzip"]
 
-    def test_unknown_benchmark_rejected_at_use(self):
+    def test_unknown_benchmark_rejected_eagerly(self):
         from repro.core.errors import ConfigurationError
 
-        settings = ExperimentSettings(benchmarks=("quake3",))
         with pytest.raises(ConfigurationError):
-            benchmark_names(settings)
+            ExperimentSettings(benchmarks=("quake3",))
+
+    def test_unknown_benchmark_env_rejected_eagerly(self, monkeypatch):
+        from repro.core.errors import ConfigurationError
+
+        monkeypatch.setenv("REPRO_BENCHMARKS", "gzip,quake3")
+        with pytest.raises(ConfigurationError):
+            ExperimentSettings()
+
+    def test_bad_env_int_names_the_variable(self, monkeypatch):
+        from repro.core.errors import ConfigurationError
+
+        monkeypatch.setenv("REPRO_CHIPS", "not-a-number")
+        with pytest.raises(ConfigurationError, match="REPRO_CHIPS"):
+            ExperimentSettings()
 
 
 class TestMemoisation:

@@ -194,3 +194,55 @@ class TestCLI:
         )
         assert code == 0
         assert (tmp_path / "table2.txt").exists()
+
+    def test_run_out_file(self, tmp_path, capsys):
+        """`repro run --out FILE` writes one file (parity with `all --out DIR`)."""
+        from repro.cli import main
+
+        target = tmp_path / "nested" / "figure1.txt"
+        assert main(["run", "fig1", "--out", str(target)]) == 0
+        assert "Figure 1" in target.read_text(encoding="utf-8")
+
+    def test_all_out_dir(self, tmp_path, capsys, monkeypatch):
+        """`repro all --out DIR` writes one artefact per experiment."""
+        from repro.cli import main
+        from repro.experiments import available_experiments
+
+        monkeypatch.setenv("REPRO_CHIPS", "150")
+        monkeypatch.setenv("REPRO_TRACE", "800")
+        monkeypatch.setenv("REPRO_WARMUP", "200")
+        monkeypatch.setenv("REPRO_BENCHMARKS", "gzip")
+        assert main(["all", "--out", str(tmp_path)]) == 0
+        for name in available_experiments():
+            assert (tmp_path / f"{name}.txt").exists()
+
+    def test_run_workers_and_stats_flags(self, capsys):
+        from repro.cli import main
+        from repro.engine import reset_engine
+
+        try:
+            assert main(["run", "fig1", "--workers", "2", "--stats"]) == 0
+            out = capsys.readouterr().out
+            assert "engine statistics" in out
+            assert "workers            2" in out
+        finally:
+            reset_engine()  # --workers reconfigured the global engine
+
+    def test_cache_subcommand(self, tmp_path, capsys, monkeypatch):
+        from repro.cli import main
+        from repro.engine import reset_engine
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        reset_engine()
+        try:
+            assert main(["run", "table2", "--chips", "120"]) == 0
+            capsys.readouterr()
+            assert main(["cache", "info"]) == 0
+            out = capsys.readouterr().out
+            assert "entries" in out and "population" in out
+            assert main(["cache", "clear"]) == 0
+            assert "removed" in capsys.readouterr().out
+            assert main(["cache", "info"]) == 0
+            assert "entries          0" in capsys.readouterr().out
+        finally:
+            reset_engine()
