@@ -6,6 +6,8 @@ Examples::
     repro run table2
     repro run table6 --trace 20000 --benchmarks gzip,mcf,swim
     repro run fig8 --workers 4 --stats --out results/fig8.txt
+    repro run table6 --workers 2 --trace run.jsonl   # traced run
+    repro trace summary run.jsonl --top 15
     repro all --chips 500 --workers 4 --out results/
     repro cache info
     repro cache clear
@@ -16,6 +18,12 @@ The same environment variables the experiment settings honour
 process pool, and completed work persists under ``.repro_cache/``
 (``REPRO_CACHE_DIR``) so repeated runs skip it; ``repro cache`` inspects
 or empties that store.
+
+``--trace`` is overloaded for backward compatibility: a bare integer is
+the per-run measured instruction count (as it always was), anything else
+is a path that receives the run's JSONL trace spans — from the main
+process and every pool worker — which ``repro trace summary`` turns into
+per-stage aggregates and a top-N slowest-spans list.
 """
 
 from __future__ import annotations
@@ -23,7 +31,7 @@ from __future__ import annotations
 import argparse
 import pathlib
 import sys
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.engine import configure_engine, get_engine
 from repro.experiments import (
@@ -31,6 +39,7 @@ from repro.experiments import (
     available_experiments,
     run_experiment,
 )
+from repro.obs import configure_tracing, disable_tracing, summary_text
 
 __all__ = ["main", "build_parser"]
 
@@ -53,15 +62,18 @@ def build_parser() -> argparse.ArgumentParser:
             "--chips", type=int, default=None, help="Monte Carlo population"
         )
         p.add_argument(
-            "--trace", type=int, default=None,
-            help="measured instructions per pipeline run",
+            "--trace", type=str, default=None,
+            help=(
+                "an integer: measured instructions per pipeline run; "
+                "a path: write JSONL trace spans there"
+            ),
         )
         p.add_argument(
             "--warmup", type=int, default=None,
             help="cache warmup instructions per pipeline run",
         )
         p.add_argument(
-            "--benchmarks", type=str, default=None,
+            "--benchmarks", "--benchmark", type=str, default=None,
             help="comma-separated benchmark subset",
         )
         p.add_argument("--out", type=pathlib.Path, default=None, help=out_help)
@@ -91,15 +103,41 @@ def build_parser() -> argparse.ArgumentParser:
         "cache", help="inspect or clear the persistent result store"
     )
     cache_parser.add_argument("action", choices=["info", "clear"])
+
+    trace_parser = sub.add_parser(
+        "trace", help="inspect a JSONL trace written by --trace <file>"
+    )
+    trace_parser.add_argument("action", choices=["summary"])
+    trace_parser.add_argument("file", type=pathlib.Path, help="JSONL trace")
+    trace_parser.add_argument(
+        "--top", type=int, default=10,
+        help="how many slowest spans to list (default 10)",
+    )
     return parser
 
 
-def _settings_from_args(args: argparse.Namespace) -> ExperimentSettings:
+def _split_trace_arg(
+    value: Optional[str],
+) -> Tuple[Optional[int], Optional[pathlib.Path]]:
+    """Disambiguate ``--trace``: instruction count vs JSONL output path."""
+    if value is None:
+        return None, None
+    try:
+        return int(value), None
+    except ValueError:
+        return None, pathlib.Path(value)
+
+
+def _settings_from_args(
+    args: argparse.Namespace, trace_length: Optional[int]
+) -> ExperimentSettings:
     defaults = ExperimentSettings()
     return ExperimentSettings(
         seed=args.seed if args.seed is not None else defaults.seed,
         chips=args.chips if args.chips is not None else defaults.chips,
-        trace_length=args.trace if args.trace is not None else defaults.trace_length,
+        trace_length=(
+            trace_length if trace_length is not None else defaults.trace_length
+        ),
         warmup=args.warmup if args.warmup is not None else defaults.warmup,
         benchmarks=(
             tuple(args.benchmarks.split(","))
@@ -175,20 +213,37 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "cache":
         return _cache_command(args.action)
 
+    if args.command == "trace":
+        print(summary_text(args.file, top=args.top))
+        return 0
+
+    trace_length, trace_path = _split_trace_arg(args.trace)
+    if trace_path is not None:
+        # Enable before the engine exists so pool workers (forked during
+        # dispatch) inherit the tracer and append to the same file.
+        trace_path.parent.mkdir(parents=True, exist_ok=True)
+        configure_tracing(trace_path)
+
     if args.workers is not None:
         configure_engine(workers=args.workers)
 
-    settings = _settings_from_args(args)
-    if args.command == "run":
-        result = run_experiment(args.experiment, settings)
-        _emit(result, args.out, single=True)
-    else:  # `all`
-        for name in available_experiments():
-            result = run_experiment(name, settings)
-            _emit(result, args.out)
+    try:
+        settings = _settings_from_args(args, trace_length)
+        if args.command == "run":
+            result = run_experiment(args.experiment, settings)
+            _emit(result, args.out, single=True)
+        else:  # `all`
+            for name in available_experiments():
+                result = run_experiment(name, settings)
+                _emit(result, args.out)
 
-    if args.stats:
-        print(get_engine().stats.summary())
+        if args.stats:
+            print(get_engine().stats.summary())
+        if trace_path is not None:
+            print(f"trace spans written to {trace_path}")
+    finally:
+        if trace_path is not None:
+            disable_tracing()
     return 0
 
 

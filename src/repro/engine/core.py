@@ -41,6 +41,8 @@ from repro.engine.executor import ShardedExecutor
 from repro.engine.stats import EngineStats
 from repro.engine.store import ResultStore
 from repro.engine.workers import population_shard, simulation_job
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import span as trace_span
 from repro.yieldmodel.constraints import ConstraintPolicy, NOMINAL_POLICY
 
 __all__ = [
@@ -92,9 +94,18 @@ class Engine:
 
     def __init__(self, config: Optional[EngineConfig] = None) -> None:
         self.config = config if config is not None else EngineConfig.from_env()
-        self.stats = EngineStats(workers=self.config.workers)
+        #: One registry per engine lifetime: EngineStats is a view over
+        #: it, and the store feeds its I/O counters into the same place.
+        self.metrics = MetricsRegistry()
+        self.stats = EngineStats(
+            workers=self.config.workers, registry=self.metrics
+        )
         self.store: Optional[ResultStore] = (
-            ResultStore(self.config.cache_dir, self.config.max_cache_bytes)
+            ResultStore(
+                self.config.cache_dir,
+                self.config.max_cache_bytes,
+                metrics=self.metrics,
+            )
             if self.config.persistent
             else None
         )
@@ -114,6 +125,7 @@ class Engine:
         """Memo then store; ``None`` when the job must be computed."""
         if key in self._memo:
             self.stats.jobs_cached_memory += 1
+            self.metrics.counter(f"engine.memo.hit.{kind}").inc()
             return self._memo[key]
         if self.store is not None:
             payload = self.store.load(kind, key)
@@ -143,12 +155,17 @@ class Engine:
             "policy": policy_identity(policy),
         }
         key = ResultStore.key_for("population", identity)
-        cached = self._lookup("population", key, decode_population)
-        if cached is not None:
-            return cached
-        with self.stats.stage("population"):
-            result = self._compute_population(settings, policy)
-        self._settle("population", key, result, encode_population)
+        with trace_span(
+            "engine.population", chips=settings.chips, seed=settings.seed
+        ) as sp:
+            cached = self._lookup("population", key, decode_population)
+            if cached is not None:
+                sp.set(source="cache")
+                return cached
+            sp.set(source="computed")
+            with self.stats.stage("population"):
+                result = self._compute_population(settings, policy)
+            self._settle("population", key, result, encode_population)
         return result
 
     def _compute_population(self, settings, policy: ConstraintPolicy):
@@ -158,7 +175,10 @@ class Engine:
             seed=settings.seed, count=settings.chips, policy=policy
         )
         jobs = self._population_jobs(settings.seed, settings.chips)
-        shards = self._executor.run(population_shard, jobs, self.stats)
+        with trace_span(
+            "engine.dispatch", kind="population", jobs=len(jobs)
+        ):
+            shards = self._executor.run(population_shard, jobs, self.stats)
         regular = [circuit for shard in shards for circuit in shard[0]]
         horizontal = [circuit for shard in shards for circuit in shard[1]]
         return study.assemble(regular, horizontal)
@@ -217,22 +237,30 @@ class Engine:
         results: List[object] = [None] * len(specs)
         misses: List[int] = []
         seen: Dict[str, int] = {}
-        for index, key in enumerate(keys):
-            cached = self._lookup("simulation", key, decode_simulation)
-            if cached is not None:
-                results[index] = cached
-            elif key in seen:
-                continue  # duplicate spec within this batch
-            else:
-                seen[key] = index
-                misses.append(index)
-        if misses:
-            with self.stats.stage("simulation"):
-                computed = self._executor.run(
-                    simulation_job, [identities[i] for i in misses], self.stats
-                )
-            for index, result in zip(misses, computed):
-                self._settle("simulation", keys[index], result, encode_simulation)
+        with trace_span("engine.simulate_many", specs=len(specs)) as sp:
+            for index, key in enumerate(keys):
+                cached = self._lookup("simulation", key, decode_simulation)
+                if cached is not None:
+                    results[index] = cached
+                elif key in seen:
+                    continue  # duplicate spec within this batch
+                else:
+                    seen[key] = index
+                    misses.append(index)
+            sp.set(misses=len(misses))
+            if misses:
+                with self.stats.stage("simulation"), trace_span(
+                    "engine.dispatch", kind="simulation", jobs=len(misses)
+                ):
+                    computed = self._executor.run(
+                        simulation_job,
+                        [identities[i] for i in misses],
+                        self.stats,
+                    )
+                for index, result in zip(misses, computed):
+                    self._settle(
+                        "simulation", keys[index], result, encode_simulation
+                    )
         for index, key in enumerate(keys):
             if results[index] is None:
                 results[index] = self._memo[key]

@@ -24,6 +24,7 @@ from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
 
 from repro.engine.stats import EngineStats
+from repro.obs.trace import span as trace_span
 
 __all__ = ["ShardedExecutor"]
 
@@ -92,6 +93,16 @@ class ShardedExecutor:
         return result
 
     def _run_pool(
+        self, func: Callable[[J], R], jobs: Sequence[J], stats: EngineStats
+    ) -> List[R]:
+        with trace_span(
+            "engine.pool",
+            jobs=len(jobs),
+            workers=min(self.workers, len(jobs)),
+        ):
+            return self._run_pool_traced(func, jobs, stats)
+
+    def _run_pool_traced(
         self, func: Callable[[J], R], jobs: Sequence[J], stats: EngineStats
     ) -> List[R]:
         start = time.perf_counter()

@@ -1,30 +1,82 @@
 """Execution statistics for the parallel engine.
 
-:class:`EngineStats` counts where every logical job (a population shard
+:class:`EngineStats` reports where every logical job (a population shard
 or one pipeline simulation) was satisfied — computed, replayed from the
-in-process memo, or loaded from the persistent store — and accumulates
-wall time per stage so ``repro run --stats`` can report how a run spent
-its time and how well the worker pool was utilised.
+in-process memo, or loaded from the persistent store — and how a run
+spent its wall time, for ``repro run --stats``.
+
+Since the observability layer landed, the class is a thin *view* over a
+:class:`~repro.obs.metrics.MetricsRegistry`: every counter attribute
+(``jobs_run``, ``busy_seconds``, ...) reads and writes a registry
+instrument, so the engine's executor can keep saying
+``stats.jobs_run += 1`` while dashboards and tests read the same numbers
+through ``engine.metrics.snapshot()``. Stage timings land in per-stage
+latency histograms (``stage.<name>``) and, when tracing is enabled, each
+stage emits a ``stage:<name>`` trace span around exactly the region it
+books — so ``repro trace summary`` and ``--stats`` agree.
 """
 
 from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from dataclasses import dataclass, field
-from typing import Dict, Iterator
+from typing import Dict, Iterator, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import span as _trace_span
 
 __all__ = ["EngineStats"]
 
+#: Attribute name -> registry counter name.
+_COUNTERS = {
+    "jobs_run": "engine.jobs.run",
+    "jobs_cached_memory": "engine.jobs.cached_memory",
+    "jobs_cached_disk": "engine.jobs.cached_disk",
+    "jobs_retried": "engine.jobs.retried",
+    "jobs_degraded": "engine.jobs.degraded",
+    "busy_seconds": "engine.busy_seconds",
+    "pool_seconds": "engine.pool_seconds",
+}
 
-@dataclass
+#: Prefix under which stage wall time is recorded as histograms.
+_STAGE_PREFIX = "stage."
+
+
+def _int_counter(metric: str):
+    def getter(self: "EngineStats") -> int:
+        return int(self.registry.counter(metric).value)
+
+    def setter(self: "EngineStats", value: float) -> None:
+        self.registry.counter(metric).value = float(value)
+
+    return property(getter, setter)
+
+
+def _float_counter(metric: str):
+    def getter(self: "EngineStats") -> float:
+        return self.registry.counter(metric).value
+
+    def setter(self: "EngineStats", value: float) -> None:
+        self.registry.counter(metric).value = float(value)
+
+    return property(getter, setter)
+
+
 class EngineStats:
-    """Counters and timings for one engine lifetime.
+    """Counters and timings for one engine lifetime (a registry view).
 
-    Attributes
+    Parameters
     ----------
     workers:
-        Configured worker-process count.
+        Configured worker-process count (kept on the view, not in the
+        registry — it is configuration, not a measurement).
+    registry:
+        Backing registry; a private one is created when not given, so a
+        standalone ``EngineStats()`` behaves exactly like the plain
+        dataclass it used to be.
+
+    Attributes (all backed by registry counters)
+    --------------------------------------------
     jobs_run:
         Jobs actually computed (in a worker or in-process).
     jobs_cached_memory, jobs_cached_disk:
@@ -38,21 +90,24 @@ class EngineStats:
         Summed per-job compute wall time (measured inside the worker).
     pool_seconds:
         Wall time spent inside parallel dispatch sections.
-    stage_seconds:
-        Wall time per named stage (``population``, ``simulation``,
-        ``experiment:<name>`` ...).
     """
 
-    workers: int = 1
-    jobs_run: int = 0
-    jobs_cached_memory: int = 0
-    jobs_cached_disk: int = 0
-    jobs_retried: int = 0
-    jobs_degraded: int = 0
-    busy_seconds: float = 0.0
-    pool_seconds: float = 0.0
-    stage_seconds: Dict[str, float] = field(default_factory=dict)
+    def __init__(
+        self, workers: int = 1, registry: Optional[MetricsRegistry] = None
+    ) -> None:
+        self.workers = workers
+        self.registry = registry if registry is not None else MetricsRegistry()
 
+    jobs_run = _int_counter(_COUNTERS["jobs_run"])
+    jobs_cached_memory = _int_counter(_COUNTERS["jobs_cached_memory"])
+    jobs_cached_disk = _int_counter(_COUNTERS["jobs_cached_disk"])
+    jobs_retried = _int_counter(_COUNTERS["jobs_retried"])
+    jobs_degraded = _int_counter(_COUNTERS["jobs_degraded"])
+    busy_seconds = _float_counter(_COUNTERS["busy_seconds"])
+    pool_seconds = _float_counter(_COUNTERS["pool_seconds"])
+
+    # ------------------------------------------------------------------
+    # derived ratios (all guarded against empty runs)
     # ------------------------------------------------------------------
     @property
     def jobs_cached(self) -> int:
@@ -65,33 +120,52 @@ class EngineStats:
         return self.jobs_run + self.jobs_cached
 
     @property
+    def hit_ratio(self) -> float:
+        """Fraction of jobs served from a cache (0.0 when no jobs ran)."""
+        total = self.jobs_total
+        if total <= 0:
+            return 0.0
+        return self.jobs_cached / total
+
+    @property
     def utilization(self) -> float:
-        """Fraction of the pool's capacity kept busy during dispatch."""
+        """Fraction of the pool's capacity kept busy during dispatch.
+
+        0.0 when nothing was dispatched (no division by zero on empty
+        runs or pathological worker counts).
+        """
         if self.pool_seconds <= 0.0 or self.workers <= 0:
             return 0.0
         return min(1.0, self.busy_seconds / (self.pool_seconds * self.workers))
 
     # ------------------------------------------------------------------
+    @property
+    def stage_seconds(self) -> Dict[str, float]:
+        """Wall time per named stage (a view over the stage histograms)."""
+        return {
+            name[len(_STAGE_PREFIX):]: hist.total
+            for name, hist in self.registry.histograms().items()
+            if name.startswith(_STAGE_PREFIX) and hist.count
+        }
+
     @contextmanager
     def stage(self, name: str) -> Iterator[None]:
-        """Accumulate the wall time of a ``with`` block under ``name``."""
-        start = time.perf_counter()
-        try:
-            yield
-        finally:
-            elapsed = time.perf_counter() - start
-            self.stage_seconds[name] = self.stage_seconds.get(name, 0.0) + elapsed
+        """Accumulate the wall time of a ``with`` block under ``name``.
+
+        Feeds the per-stage latency histogram and, when tracing is on,
+        emits a ``stage:<name>`` span covering the same region.
+        """
+        with _trace_span(f"stage:{name}"):
+            start = time.perf_counter()
+            try:
+                yield
+            finally:
+                elapsed = time.perf_counter() - start
+                self.registry.histogram(_STAGE_PREFIX + name).observe(elapsed)
 
     def reset(self) -> None:
         """Zero every counter and timing (the worker count is kept)."""
-        self.jobs_run = 0
-        self.jobs_cached_memory = 0
-        self.jobs_cached_disk = 0
-        self.jobs_retried = 0
-        self.jobs_degraded = 0
-        self.busy_seconds = 0.0
-        self.pool_seconds = 0.0
-        self.stage_seconds = {}
+        self.registry.reset()
 
     def summary(self) -> str:
         """Human-readable multi-line report (``repro run --stats``)."""
@@ -103,9 +177,11 @@ class EngineStats:
             f"jobs cached (disk) {self.jobs_cached_disk}",
             f"jobs retried       {self.jobs_retried}",
             f"jobs degraded      {self.jobs_degraded}",
+            f"cache hit ratio    {self.hit_ratio * 100:.1f}%",
             f"busy seconds       {self.busy_seconds:.3f}",
             f"pool utilization   {self.utilization * 100:.1f}%",
         ]
-        for name in sorted(self.stage_seconds):
-            lines.append(f"stage {name:<24} {self.stage_seconds[name]:.3f}s")
+        stage_seconds = self.stage_seconds
+        for name in sorted(stage_seconds):
+            lines.append(f"stage {name:<24} {stage_seconds[name]:.3f}s")
         return "\n".join(lines)

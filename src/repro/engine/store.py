@@ -25,7 +25,10 @@ import json
 import os
 import pathlib
 import tempfile
+import time
 from typing import Dict, List, Optional
+
+from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["ResultStore", "SCHEMA_VERSION", "canonical_json"]
 
@@ -47,13 +50,31 @@ class ResultStore:
         Directory holding the store (created lazily on first save).
     max_bytes:
         Byte budget; ``None`` or ``<= 0`` disables eviction.
+    metrics:
+        Optional registry receiving I/O counters (``store.load.hit``,
+        ``store.load.miss``, ``store.load.corrupt``, ``store.save``,
+        ``store.evictions``, ``store.bytes_written``) and latency
+        histograms (``store.load_seconds``, ``store.save_seconds``).
+        The engine passes its own registry; a bare store stays silent.
     """
 
     def __init__(
-        self, root: pathlib.Path, max_bytes: Optional[int] = None
+        self,
+        root: pathlib.Path,
+        max_bytes: Optional[int] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.root = pathlib.Path(root)
         self.max_bytes = max_bytes if max_bytes and max_bytes > 0 else None
+        self.metrics = metrics
+
+    def _count(self, name: str, amount: float = 1.0) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name).inc(amount)
+
+    def _observe(self, name: str, seconds: float) -> None:
+        if self.metrics is not None:
+            self.metrics.histogram(name).observe(seconds)
 
     # ------------------------------------------------------------------
     # keys and paths
@@ -76,6 +97,7 @@ class ResultStore:
     def load(self, kind: str, key: str) -> Optional[dict]:
         """The stored payload, or ``None`` when absent or unreadable."""
         path = self.path_for(kind, key)
+        start = time.perf_counter()
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 wrapper = json.load(handle)
@@ -87,9 +109,11 @@ class ResultStore:
             ):
                 raise ValueError("bad store entry")
         except FileNotFoundError:
+            self._count("store.load.miss")
             return None
         except (OSError, ValueError):
             # Corrupt or foreign entry: discard it so it is recomputed.
+            self._count("store.load.corrupt")
             try:
                 path.unlink()
             except OSError:
@@ -99,12 +123,15 @@ class ResultStore:
             os.utime(path)  # refresh LRU recency
         except OSError:
             pass
+        self._count("store.load.hit")
+        self._observe("store.load_seconds", time.perf_counter() - start)
         return wrapper["payload"]
 
     def save(self, kind: str, key: str, payload: dict) -> None:
         """Atomically persist ``payload`` under ``(kind, key)``."""
         path = self.path_for(kind, key)
         wrapper = {"version": SCHEMA_VERSION, "kind": kind, "payload": payload}
+        start = time.perf_counter()
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
             fd, tmp = tempfile.mkstemp(
@@ -113,12 +140,16 @@ class ResultStore:
             try:
                 with os.fdopen(fd, "w", encoding="utf-8") as handle:
                     json.dump(wrapper, handle, separators=(",", ":"))
+                written = os.path.getsize(tmp)
                 os.replace(tmp, path)
             finally:
                 if os.path.exists(tmp):
                     os.unlink(tmp)
         except OSError:
             return  # a read-only or full disk must never fail the run
+        self._count("store.save")
+        self._count("store.bytes_written", written)
+        self._observe("store.save_seconds", time.perf_counter() - start)
         self._enforce_cap()
 
     # ------------------------------------------------------------------
@@ -182,3 +213,4 @@ class ResultStore:
             except OSError:
                 continue
             total -= size
+            self._count("store.evictions")

@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro.circuit.cache_model import CacheCircuitResult
+from repro.obs.trace import span as trace_span
 
 __all__ = ["population_shard", "simulation_job"]
 
@@ -40,8 +41,11 @@ def population_shard(
     from repro.yieldmodel.analysis import YieldStudy
 
     seed, start, stop = job
-    study = YieldStudy(seed=seed, count=max(stop, 1))
-    return study.evaluate_chips(start, stop)
+    with trace_span(
+        "worker:population_shard", start=start, stop=stop, seed=seed
+    ):
+        study = YieldStudy(seed=seed, count=max(stop, 1))
+        return study.evaluate_chips(start, stop)
 
 
 def simulation_job(job: SimulationJob):
@@ -63,23 +67,29 @@ def simulation_job(job: SimulationJob):
     way_cycles = job.get("way_cycles")
     uniform_latency = job.get("uniform_latency")
 
-    profile = get_profile(benchmark)
-    trace = TraceGenerator(profile, seed=seed).generate(warmup + trace_length)
-    core = PAPER_CORE
-    l1d_config = None
-    if uniform_latency is not None:
-        core = core.replace(predicted_load_latency=int(uniform_latency))
-    elif way_cycles is not None:
-        l1d_config = WayConfig(
-            latencies=tuple(
-                None if cycle is None else int(cycle) for cycle in way_cycles
-            )
+    with trace_span(
+        "worker:simulation", benchmark=benchmark, instructions=trace_length
+    ):
+        profile = get_profile(benchmark)
+        trace = TraceGenerator(profile, seed=seed).generate(
+            warmup + trace_length
         )
-    simulator = Simulator(
-        core=core,
-        l1d_config=l1d_config,
-        uniform_load_latency=(
-            None if uniform_latency is None else int(uniform_latency)
-        ),
-    )
-    return simulator.run(trace, warmup=warmup)
+        core = PAPER_CORE
+        l1d_config = None
+        if uniform_latency is not None:
+            core = core.replace(predicted_load_latency=int(uniform_latency))
+        elif way_cycles is not None:
+            l1d_config = WayConfig(
+                latencies=tuple(
+                    None if cycle is None else int(cycle)
+                    for cycle in way_cycles
+                )
+            )
+        simulator = Simulator(
+            core=core,
+            l1d_config=l1d_config,
+            uniform_load_latency=(
+                None if uniform_latency is None else int(uniform_latency)
+            ),
+        )
+        return simulator.run(trace, warmup=warmup)

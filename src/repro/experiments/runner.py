@@ -64,7 +64,11 @@ def run_experiment(
         )
     if settings is None:
         settings = ExperimentSettings()
-    # Book the experiment's wall time as an engine stage so
-    # `repro run --stats` breaks a run down per artefact.
-    with get_engine().stats.stage(f"experiment:{name}"):
+    # Book the experiment's wall time as an engine stage so both
+    # `repro run --stats` and `repro trace summary` (the stage timer
+    # emits a `stage:experiment:<name>` span) break a run down per
+    # artefact.
+    engine = get_engine()
+    engine.metrics.counter(f"experiment.runs.{name}").inc()
+    with engine.stats.stage(f"experiment:{name}"):
         return EXPERIMENTS[name](settings)

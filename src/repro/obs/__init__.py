@@ -1,0 +1,58 @@
+"""Observability: hierarchical trace spans and a metrics registry.
+
+Zero-dependency instrumentation threaded through the hot layers — engine
+dispatch, the persistent store, pool workers, the pipeline simulator and
+every experiment entry point. Tracing is off by default (the disabled
+:func:`span` path is a no-op object); enable it with
+``repro run ... --trace out.jsonl`` or ``REPRO_TRACE_FILE``. Metrics are
+always on: instruments are plain counters touched once per job, and
+:class:`~repro.engine.stats.EngineStats` is a thin view over the
+engine's registry.
+
+See :mod:`repro.obs.trace`, :mod:`repro.obs.metrics` and
+:mod:`repro.obs.summary`.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_metrics,
+    reset_metrics,
+)
+from repro.obs.summary import (
+    load_spans,
+    render_summary,
+    summarize_spans,
+    summary_text,
+)
+from repro.obs.trace import (
+    Span,
+    Tracer,
+    configure_tracing,
+    disable_tracing,
+    get_tracer,
+    span,
+    tracing_enabled,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "configure_tracing",
+    "disable_tracing",
+    "get_metrics",
+    "get_tracer",
+    "load_spans",
+    "render_summary",
+    "reset_metrics",
+    "span",
+    "summarize_spans",
+    "summary_text",
+    "tracing_enabled",
+]

@@ -8,12 +8,15 @@ performance experiments need.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, Iterable, Optional
 
 from repro.cache.hierarchy import HierarchyConfig, MemoryHierarchy, PAPER_HIERARCHY
 from repro.cache.setassoc import WayConfig
 from repro.core.errors import SimulationError
+from repro.obs.metrics import get_metrics
+from repro.obs.trace import span as trace_span
 from repro.uarch.config import CoreConfig, PAPER_CORE
 from repro.uarch.pipeline import PipelineEngine
 from repro.uarch.trace import TraceInstruction
@@ -117,10 +120,30 @@ class Simulator:
         engine = PipelineEngine(
             self.core, hierarchy, trace, warmup_instructions=warmup
         )
-        engine.run()
+        with trace_span("simulator.run", warmup=warmup) as sp:
+            start = time.perf_counter()
+            engine.run()
+            elapsed = time.perf_counter() - start
         if engine.committed <= warmup:
             raise SimulationError(
                 "trace too short: nothing committed after warmup"
+            )
+        # Throughput instruments: visible via the process-wide registry
+        # even when this runs inside a pool worker.
+        metrics = get_metrics()
+        metrics.counter("simulator.runs").inc()
+        metrics.counter("simulator.instructions").inc(engine.committed)
+        metrics.counter("simulator.cycles").inc(engine.cycle)
+        if elapsed > 0.0:
+            rate = engine.committed / elapsed
+            metrics.gauge("simulator.events_per_second").set(rate)
+            metrics.histogram(
+                "simulator.run_seconds"
+            ).observe(elapsed)
+            sp.set(
+                instructions=engine.committed,
+                cycles=engine.cycle,
+                events_per_second=round(rate, 1),
             )
         return SimResult(
             instructions=engine.committed - warmup,

@@ -1,0 +1,141 @@
+"""Property tests: store codec round-trips for every job result type.
+
+The persistent result store only works if ``decode(encode(x))`` is the
+identity — including exact float values, because the determinism suite
+compares cached and freshly computed results bit-for-bit. These tests
+drive both codecs with seeded random payloads through a real JSON
+serialize/parse cycle (exactly what :class:`ResultStore` does on disk).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.engine.codec import (
+    decode_population,
+    decode_simulation,
+    encode_population,
+    encode_simulation,
+    policy_identity,
+    way_cycles_identity,
+)
+from repro.circuit.cache_model import CacheCircuitResult, WayCircuitResult
+from repro.uarch.simulator import SimResult
+from repro.yieldmodel.analysis import PopulationResult
+from repro.yieldmodel.classify import ChipCase
+from repro.yieldmodel.constraints import ConstraintPolicy, YieldConstraints
+
+NUM_CASES = 25
+
+
+def _json_cycle(payload: dict) -> dict:
+    """Exactly what the store does: serialize to text, parse back."""
+    return json.loads(json.dumps(payload))
+
+
+def _random_circuit(rng: random.Random, chip_id: int) -> CacheCircuitResult:
+    num_ways = rng.choice((2, 4, 8))
+    num_bands = rng.choice((2, 4))
+    ways = tuple(
+        WayCircuitResult(
+            way=w,
+            band_delays=tuple(
+                # Awkward floats on purpose: repr round-tripping must
+                # preserve them exactly.
+                rng.uniform(0.5e-9, 3e-9) for _ in range(num_bands)
+            ),
+            band_leakage=tuple(
+                rng.uniform(1e-3, 0.2) for _ in range(num_bands)
+            ),
+            peripheral_leakage=rng.uniform(1e-3, 0.1),
+        )
+        for w in range(num_ways)
+    )
+    return CacheCircuitResult(
+        chip_id=chip_id, ways=ways, hyapd=rng.random() < 0.5
+    )
+
+
+def _random_population(rng: random.Random) -> PopulationResult:
+    constraints = YieldConstraints(
+        delay_limit=rng.uniform(1e-9, 4e-9),
+        leakage_limit=rng.uniform(0.1, 2.0),
+    )
+    policy = ConstraintPolicy(
+        name=f"policy-{rng.randrange(1000)}",
+        delay_sigma_multiple=rng.uniform(1.0, 4.0),
+        leakage_mean_multiple=rng.uniform(1.0, 2.0),
+    )
+    count = rng.randint(1, 6)
+    return PopulationResult(
+        constraints=constraints,
+        cases=[
+            ChipCase(_random_circuit(rng, i), constraints)
+            for i in range(count)
+        ],
+        h_cases=[
+            ChipCase(_random_circuit(rng, i), constraints)
+            for i in range(count)
+        ],
+        policy=policy,
+    )
+
+
+def _random_simulation(rng: random.Random) -> SimResult:
+    instructions = rng.randint(1, 10**7)
+    return SimResult(
+        instructions=instructions,
+        cycles=rng.randint(instructions, 4 * 10**7),
+        replays=rng.randint(0, 10**5),
+        lbb_stalls=rng.randint(0, 10**5),
+        slow_way_hits=rng.randint(0, 10**5),
+        branch_mispredicts=rng.randint(0, 10**5),
+        loads=rng.randint(0, 10**6),
+        stores=rng.randint(0, 10**6),
+        hierarchy_stats={
+            f"l{level}.{stat}": rng.uniform(0.0, 1e6)
+            for level in (1, 2)
+            for stat in ("hits", "misses", "miss_rate")
+        },
+    )
+
+
+@pytest.mark.parametrize("seed", range(NUM_CASES))
+def test_population_round_trip(seed):
+    rng = random.Random(seed)
+    original = _random_population(rng)
+    decoded = decode_population(_json_cycle(encode_population(original)))
+    assert decoded.constraints == original.constraints
+    assert policy_identity(decoded.policy) == policy_identity(original.policy)
+    assert decoded.cases == original.cases
+    assert decoded.h_cases == original.h_cases
+    # Derived facts come out identical too (cached_property recomputes
+    # from the decoded circuits).
+    for before, after in zip(
+        original.cases + original.h_cases, decoded.cases + decoded.h_cases
+    ):
+        assert after.circuit.way_delays == before.circuit.way_delays
+        assert after.way_cycles == before.way_cycles
+        assert after.passes == before.passes
+    # Stability: encoding the decoded result reproduces the payload.
+    assert encode_population(decoded) == encode_population(original)
+
+
+@pytest.mark.parametrize("seed", range(NUM_CASES))
+def test_simulation_round_trip(seed):
+    rng = random.Random(1000 + seed)
+    original = _random_simulation(rng)
+    decoded = decode_simulation(_json_cycle(encode_simulation(original)))
+    assert decoded == original
+    assert decoded.cpi == original.cpi
+    assert encode_simulation(decoded) == encode_simulation(original)
+
+
+def test_way_cycles_identity_preserves_disabled_ways():
+    assert way_cycles_identity(None) is None
+    assert way_cycles_identity((4, None, 5, 4)) == [4, None, 5, 4]
+    # And it survives a JSON cycle (None -> null -> None).
+    assert json.loads(json.dumps(way_cycles_identity((None, 4)))) == [None, 4]

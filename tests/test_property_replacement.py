@@ -1,0 +1,149 @@
+"""Property tests: replacement-policy invariants under random workloads.
+
+The LRU invariants the cache model relies on, checked against a
+straightforward reference model over seeded random access sequences:
+
+* the victim is always one of the eligible candidates;
+* never-touched candidates are evicted before any touched one;
+* among touched candidates, the least recently touched loses;
+* a touch moves a way to most-recently-used (it cannot be the next
+  victim while another touched candidate exists);
+* victim selection is a pure query — it never mutates policy state.
+
+FIFO and random get the basic safety properties too, since experiments
+may swap them in via ``policy_factory``.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.cache.replacement import FIFOPolicy, LRUPolicy, RandomPolicy
+from repro.core.errors import SimulationError
+
+NUM_SEQUENCES = 30
+
+
+def _random_workload(seed: int):
+    """(ways, candidate set, interleaved touch/victim script)."""
+    rng = random.Random(seed)
+    ways = rng.choice((2, 4, 8))
+    candidates = sorted(
+        rng.sample(range(ways), k=rng.randint(1, ways))
+    )
+    script = []
+    for _ in range(rng.randint(30, 120)):
+        if rng.random() < 0.7:
+            script.append(("touch", rng.randrange(ways)))
+        else:
+            script.append(("victim", None))
+    return ways, candidates, script
+
+
+class _ReferenceLRU:
+    """Trivially-correct LRU: a recency list, most recent last."""
+
+    def __init__(self):
+        self.recency = []
+
+    def touch(self, way):
+        if way in self.recency:
+            self.recency.remove(way)
+        self.recency.append(way)
+
+    def victim(self, candidates):
+        untouched = [w for w in candidates if w not in self.recency]
+        if untouched:
+            return untouched[0]
+        return next(w for w in self.recency if w in candidates)
+
+
+@pytest.mark.parametrize("seed", range(NUM_SEQUENCES))
+def test_lru_matches_reference_model(seed):
+    _, candidates, script = _random_workload(seed)
+    policy, reference = LRUPolicy(), _ReferenceLRU()
+    for op, way in script:
+        if op == "touch":
+            policy.touch(way)
+            reference.touch(way)
+        else:
+            assert policy.victim(candidates) == reference.victim(candidates)
+
+
+@pytest.mark.parametrize("seed", range(NUM_SEQUENCES))
+def test_lru_victim_is_least_recent_candidate(seed):
+    _, candidates, script = _random_workload(seed)
+    policy = LRUPolicy()
+    touched = []  # recency order, most recent last
+    for op, way in script:
+        if op == "touch":
+            policy.touch(way)
+            if way in touched:
+                touched.remove(way)
+            touched.append(way)
+            continue
+        victim = policy.victim(candidates)
+        assert victim in candidates
+        untouched = [w for w in candidates if w not in touched]
+        if untouched:
+            assert victim not in touched
+        else:
+            # No touched candidate may be older than the victim.
+            assert touched.index(victim) == min(
+                touched.index(w) for w in candidates
+            )
+            # The most recently touched candidate survives (unless it is
+            # the only one).
+            mru = max(candidates, key=touched.index)
+            if len(candidates) > 1:
+                assert victim != mru
+        # victim() is a query: asking again changes nothing.
+        assert policy.victim(candidates) == victim
+        # Touching the victim immediately protects it.
+        if len([w for w in candidates if w != victim]) >= 1 and not untouched:
+            policy.touch(victim)
+            touched.remove(victim)
+            touched.append(victim)
+            assert policy.victim(candidates) != victim
+
+
+@pytest.mark.parametrize("policy_cls", [LRUPolicy, FIFOPolicy])
+def test_empty_candidates_raise(policy_cls):
+    with pytest.raises(SimulationError):
+        policy_cls().victim([])
+    with pytest.raises(SimulationError):
+        RandomPolicy().victim([])
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_fifo_evicts_in_fill_order(seed):
+    rng = random.Random(seed)
+    ways = 4
+    policy = FIFOPolicy()
+    fills = list(range(ways))
+    rng.shuffle(fills)
+    for way in fills:
+        policy.touch(way)
+    # Hits must not reorder FIFO.
+    for _ in range(10):
+        policy.touch(rng.choice(fills))
+    candidates = list(range(ways))
+    evicted = []
+    for _ in range(ways):
+        victim = policy.victim(candidates)
+        evicted.append(victim)
+        policy.touch(victim)  # re-fill, goes to the back of the queue
+    assert evicted == fills
+
+
+def test_random_policy_is_deterministic_per_seed_and_in_range():
+    candidates = [1, 3, 5, 7]
+    a = RandomPolicy(np.random.default_rng(42))
+    b = RandomPolicy(np.random.default_rng(42))
+    picks = [a.victim(candidates) for _ in range(50)]
+    assert picks == [b.victim(candidates) for _ in range(50)]
+    assert set(picks) <= set(candidates)
+    assert len(set(picks)) > 1  # actually random, not constant
