@@ -13,6 +13,12 @@ registry and prints the rendered artefact. Scaling knobs:
 
 Each benchmark runs exactly one round (the experiments are deterministic
 and internally memoised, so repeated rounds would only measure the cache).
+
+Set ``REPRO_BENCH_RECORD`` to a path (e.g. ``BENCH_history.json``) to
+route every pytest benchmark through the same provenance-stamped trend
+store that ``repro bench run`` writes — one record per experiment, suite
+name ``pytest`` — so ``repro bench compare`` and ``repro bench report``
+see the pytest timings next to the CLI suites'.
 """
 
 from __future__ import annotations
@@ -64,14 +70,61 @@ def settings() -> ExperimentSettings:
     )
 
 
+#: Shared per-session timestamp so every recorded pytest benchmark of
+#: one run lands under one run_id in the trend store.
+_RECORD_SESSION = {"created": None}
+
+
+def _record_bench(name: str, samples) -> None:
+    """Append one pytest-benchmark timing to the shared trend store."""
+    history = os.environ.get("REPRO_BENCH_RECORD")
+    if not history or not samples:
+        return
+    import time
+
+    from repro.obs.bench import (
+        BenchResult,
+        append_history,
+        make_record,
+        new_run_id,
+    )
+    from repro.obs.provenance import provenance_stamp
+
+    if _RECORD_SESSION["created"] is None:
+        _RECORD_SESSION["created"] = time.time()
+    created = _RECORD_SESSION["created"]
+    result = BenchResult(
+        suite="pytest", bench=f"pytest.{name}",
+        samples=[float(s) for s in samples], warmup=0,
+    )
+    provenance = provenance_stamp(
+        workers=get_engine().config.workers,
+        config={"suite": "pytest"},
+    )
+    append_history(
+        history,
+        [make_record(result, new_run_id("pytest", created, provenance),
+                     created, provenance)],
+    )
+
+
 @pytest.fixture
 def run_paper_experiment(settings, benchmark):
-    """Run one experiment under the benchmark timer and print its table."""
+    """Run one experiment under the benchmark timer and print its table.
+
+    With ``REPRO_BENCH_RECORD=<history.json>`` the measured rounds are
+    also appended to the perf trend store (see module docstring).
+    """
 
     def runner(name: str):
         result = benchmark.pedantic(
             run_experiment, args=(name, settings), rounds=1, iterations=1
         )
+        try:
+            samples = list(benchmark.stats.stats.data)
+        except AttributeError:  # disabled benchmarks / plugin internals
+            samples = []
+        _record_bench(name, samples)
         print()
         print(result.text)
         return result

@@ -8,9 +8,13 @@ Examples::
     repro run fig8 --workers 4 --stats --out results/fig8.txt
     repro run table6 --workers 2 --trace run.jsonl   # traced run
     repro trace summary run.jsonl --top 15
+    repro trace flamegraph run.jsonl --out flame.html
     repro all --chips 500 --workers 4 --out results/
     repro cache info
     repro cache clear
+    repro bench run --suite engine --repeats 5
+    repro bench compare --tolerance 0.1
+    repro bench report bench.html
 
 The same environment variables the experiment settings honour
 (``REPRO_CHIPS`` etc.) also work; explicit flags win. ``--workers``
@@ -23,7 +27,18 @@ or empties that store.
 the per-run measured instruction count (as it always was), anything else
 is a path that receives the run's JSONL trace spans — from the main
 process and every pool worker — which ``repro trace summary`` turns into
-per-stage aggregates and a top-N slowest-spans list.
+per-stage aggregates and a top-N slowest-spans list, and ``repro trace
+flamegraph`` into a self-contained collapsible HTML flamegraph.
+
+``repro bench`` is the perf-regression surface: ``run`` executes a
+benchmark suite (warmup + repeats on a scratch engine) and appends
+provenance-stamped records to the ``BENCH_history.json`` trend store,
+``compare`` classifies the latest run against a baseline
+(improved/neutral/regressed, bootstrap CI on median deltas), and
+``report`` renders the history as one self-contained HTML page. ``run``
+refuses a dirty working tree unless ``--allow-dirty`` is passed, so the
+recorded git SHAs stay honest. ``repro run`` and ``repro bench run``
+both keep a background resource sampler going (RSS / CPU gauges).
 """
 
 from __future__ import annotations
@@ -107,11 +122,111 @@ def build_parser() -> argparse.ArgumentParser:
     trace_parser = sub.add_parser(
         "trace", help="inspect a JSONL trace written by --trace <file>"
     )
-    trace_parser.add_argument("action", choices=["summary"])
-    trace_parser.add_argument("file", type=pathlib.Path, help="JSONL trace")
+    trace_parser.add_argument("action", choices=["summary", "flamegraph"])
+    trace_parser.add_argument(
+        "file", type=pathlib.Path,
+        help=(
+            "JSONL trace to read; for flamegraph an .html path is also "
+            "accepted here as the output (the trace then comes from "
+            "--input or the default BENCH_trace.jsonl)"
+        ),
+    )
     trace_parser.add_argument(
         "--top", type=int, default=10,
-        help="how many slowest spans to list (default 10)",
+        help="how many slowest spans to list (default 10, summary only)",
+    )
+    trace_parser.add_argument(
+        "--out", type=pathlib.Path, default=None,
+        help="flamegraph output path (default: trace file with .html)",
+    )
+    trace_parser.add_argument(
+        "--input", type=pathlib.Path, default=None,
+        help="flamegraph trace input when the positional is the output",
+    )
+
+    bench_parser = sub.add_parser(
+        "bench", help="benchmark suites, trend store and regression checks"
+    )
+    bench_sub = bench_parser.add_subparsers(dest="bench_command", required=True)
+
+    bench_run = bench_sub.add_parser(
+        "run", help="run a suite and record provenance-stamped timings"
+    )
+    bench_run.add_argument(
+        "--suite", default="engine",
+        help="suite to run, or 'all' (default: engine)",
+    )
+    bench_run.add_argument(
+        "--repeats", type=int, default=5,
+        help="timed runs per benchmark (default 5)",
+    )
+    bench_run.add_argument(
+        "--warmup-runs", type=int, default=1,
+        help="untimed warmup runs per benchmark (default 1)",
+    )
+    bench_run.add_argument(
+        "--workers", type=int, default=1,
+        help="engine worker processes for the benchmarks (default 1)",
+    )
+    bench_run.add_argument(
+        "--history", type=pathlib.Path, default=None,
+        help="trend store path (default BENCH_history.json)",
+    )
+    bench_run.add_argument(
+        "--allow-dirty", action="store_true",
+        help="record timings even with uncommitted changes",
+    )
+    bench_run.add_argument(
+        "--trace", type=pathlib.Path, default=None,
+        help="JSONL trace output (default BENCH_trace.jsonl)",
+    )
+    bench_run.add_argument(
+        "--no-trace", action="store_true", help="skip trace span export"
+    )
+
+    bench_compare = bench_sub.add_parser(
+        "compare", help="classify the latest run against a baseline"
+    )
+    bench_compare.add_argument(
+        "--history", type=pathlib.Path, default=None,
+        help="trend store path (default BENCH_history.json)",
+    )
+    bench_compare.add_argument(
+        "--baseline", default=None,
+        help=(
+            "baseline: a run-id prefix from the history, or a path to a "
+            "BENCH_*.json file (default: the previous run in the history)"
+        ),
+    )
+    bench_compare.add_argument(
+        "--suite", default=None, help="restrict the comparison to one suite"
+    )
+    bench_compare.add_argument(
+        "--tolerance", type=float, default=0.05,
+        help="relative no-change band around the baseline median "
+             "(default 0.05 = 5%%)",
+    )
+    bench_compare.add_argument(
+        "--warn-only", action="store_true",
+        help="exit 0 even when a regression is detected (CI smoke mode)",
+    )
+
+    bench_report = bench_sub.add_parser(
+        "report", help="render the trend store as self-contained HTML"
+    )
+    bench_report.add_argument(
+        "out", type=pathlib.Path, help="HTML output path"
+    )
+    bench_report.add_argument(
+        "--history", type=pathlib.Path, default=None,
+        help="trend store path (default BENCH_history.json)",
+    )
+    bench_report.add_argument(
+        "--suite", default=None, help="restrict the report to one suite"
+    )
+    bench_report.add_argument(
+        "--tolerance", type=float, default=0.05,
+        help="tolerance for the embedded verdict table (default 0.05)",
     )
     return parser
 
@@ -200,6 +315,284 @@ def _cache_command(action: str) -> int:
     return 0
 
 
+#: Default JSONL destination of ``repro bench run`` trace spans.
+DEFAULT_BENCH_TRACE = pathlib.Path("BENCH_trace.jsonl")
+
+
+def _default_flamegraph_input() -> Optional[pathlib.Path]:
+    """The trace a bare ``repro trace flamegraph out.html`` should read."""
+    import os
+
+    env = os.environ.get("REPRO_TRACE_FILE")
+    candidates = [pathlib.Path(env)] if env else []
+    candidates += [DEFAULT_BENCH_TRACE, pathlib.Path("trace.jsonl")]
+    for candidate in candidates:
+        if candidate.is_file():
+            return candidate
+    return None
+
+
+def _trace_command(args: argparse.Namespace) -> int:
+    if args.action == "summary":
+        print(summary_text(args.file, top=args.top))
+        return 0
+    # flamegraph: the positional is normally the trace, but accept an
+    # .html path there as the output for symmetry with `bench report`.
+    from repro.obs.report import render_flamegraph
+    from repro.obs.summary import load_spans_counted
+
+    if args.file.suffix == ".html" and not args.file.is_file():
+        out = args.file
+        source = args.input or _default_flamegraph_input()
+        if source is None:
+            print(
+                "error: no trace input found — pass one with --input, or "
+                "run `repro bench run` / `repro run --trace out.jsonl` "
+                "first",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        source = args.file
+        out = args.out or args.file.with_suffix(".html")
+    try:
+        spans, skipped = load_spans_counted(source)
+    except OSError as exc:
+        print(f"error: cannot read trace {source}: {exc}", file=sys.stderr)
+        return 2
+    render_flamegraph(spans, out, skipped=skipped, source=str(source))
+    if skipped:
+        print(f"warning: skipped {skipped} malformed trace line(s)")
+    print(f"flamegraph written to {out} ({len(spans)} spans)")
+    return 0
+
+
+def _bench_history(args: argparse.Namespace) -> pathlib.Path:
+    from repro.obs.bench import DEFAULT_HISTORY_PATH
+
+    return args.history if args.history is not None else DEFAULT_HISTORY_PATH
+
+
+def _bench_run_command(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.obs import ResourceSampler, provenance_stamp, working_tree_dirty
+    from repro.obs.bench import (
+        SUITES,
+        append_history,
+        available_suites,
+        make_record,
+        new_run_id,
+        run_suite,
+        write_latest,
+    )
+
+    if working_tree_dirty() is True and not args.allow_dirty:
+        print(
+            "error: the working tree has uncommitted changes, so the "
+            "recorded git SHA would misattribute these timings.\n"
+            "Commit (or stash) first, or pass --allow-dirty to record "
+            "anyway (the record is then flagged dirty).",
+            file=sys.stderr,
+        )
+        return 2
+    suites = available_suites() if args.suite == "all" else [args.suite]
+    unknown = [s for s in suites if s not in SUITES]
+    if unknown:
+        print(
+            f"error: unknown suite {unknown[0]!r}; "
+            f"available: {available_suites()} (or 'all')",
+            file=sys.stderr,
+        )
+        return 2
+
+    history = _bench_history(args)
+    trace_path = None
+    if not args.no_trace:
+        trace_path = args.trace if args.trace is not None else DEFAULT_BENCH_TRACE
+        trace_path.parent.mkdir(parents=True, exist_ok=True)
+        configure_tracing(trace_path)
+    sampler = ResourceSampler()
+    sampler.start()
+    try:
+        created = time.time()
+        provenance = provenance_stamp(
+            workers=args.workers,
+            config={
+                "suites": suites,
+                "repeats": args.repeats,
+                "warmup": args.warmup_runs,
+                "workers": args.workers,
+            },
+        )
+        run_id = new_run_id(",".join(suites), created, provenance)
+        print(f"== bench run {run_id} ==")
+        print(
+            f"commit {provenance['git_sha'][:12]}"
+            + (" (dirty)" if provenance["dirty"] else "")
+            + f", python {provenance['python']}, workers {args.workers}, "
+            f"repeats {args.repeats} (+{args.warmup_runs} warmup)"
+        )
+        records = []
+        for suite in suites:
+            results = run_suite(
+                suite,
+                repeats=args.repeats,
+                warmup=args.warmup_runs,
+                workers=args.workers,
+            )
+            sampler.sample_now()  # refresh gauges before records snapshot them
+            suite_records = [
+                make_record(result, run_id, created, provenance)
+                for result in results
+            ]
+            records.extend(suite_records)
+            latest = write_latest(suite, suite_records)
+            for result in results:
+                print(
+                    f"  {result.bench:<28} median {result.median * 1e3:9.3f}ms"
+                    f"  min {min(result.samples) * 1e3:9.3f}ms"
+                    f"  max {max(result.samples) * 1e3:9.3f}ms"
+                )
+            print(f"  latest results -> {latest}")
+        total = append_history(history, records)
+        print(f"history -> {history} ({total} records)")
+    finally:
+        resources = sampler.stop()
+        if trace_path is not None:
+            disable_tracing()
+    if trace_path is not None:
+        print(f"trace spans -> {trace_path}")
+    if resources.get("rss_peak_bytes"):
+        print(
+            f"peak rss {resources['rss_peak_bytes'] / 1e6:.1f} MB, "
+            f"cpu {resources['cpu_user_seconds']:.2f}s user / "
+            f"{resources['cpu_system_seconds']:.2f}s system"
+        )
+    return 0
+
+
+def _resolve_baseline(
+    baseline_arg: Optional[str],
+    records,
+    ids,
+    suite: Optional[str],
+):
+    """The baseline's per-bench samples and a description of its origin."""
+    from repro.core.errors import ConfigurationError
+    from repro.obs.bench import load_history, run_ids, samples_by_bench
+
+    if baseline_arg is not None:
+        path = pathlib.Path(baseline_arg)
+        if path.is_file():
+            base_records, _ = load_history(path)
+            base_ids = run_ids(base_records)
+            if not base_ids:
+                raise ConfigurationError(
+                    f"baseline file {path} holds no valid records"
+                )
+            return (
+                samples_by_bench(
+                    base_records, run_id=base_ids[-1], suite=suite
+                ),
+                f"file {path} (run {base_ids[-1]})",
+            )
+        matches = [i for i in ids if i.startswith(baseline_arg)]
+        if len(matches) != 1:
+            raise ConfigurationError(
+                f"baseline {baseline_arg!r} matches {len(matches)} runs in "
+                f"the history; known run ids: {ids}"
+            )
+        return (
+            samples_by_bench(records, run_id=matches[0], suite=suite),
+            f"run {matches[0]}",
+        )
+    base_id = ids[-2] if len(ids) >= 2 else ids[-1]
+    origin = f"run {base_id}" + (
+        " (latest run compared against itself: only one run recorded)"
+        if len(ids) < 2
+        else ""
+    )
+    return samples_by_bench(records, run_id=base_id, suite=suite), origin
+
+
+def _bench_compare_command(args: argparse.Namespace) -> int:
+    from repro.obs.bench import load_history, run_ids, samples_by_bench
+    from repro.obs.regress import REGRESSED, compare_runs, worst_verdict
+
+    history = _bench_history(args)
+    records, skipped = load_history(history)
+    if skipped:
+        print(f"warning: skipped {skipped} malformed history record(s)")
+    if args.suite is not None:
+        records = [r for r in records if r["suite"] == args.suite]
+    ids = run_ids(records)
+    if not ids:
+        print(
+            f"error: no bench records in {history}; "
+            "run `repro bench run` first",
+            file=sys.stderr,
+        )
+        return 2
+    current_id = ids[-1]
+    current = samples_by_bench(records, run_id=current_id, suite=args.suite)
+    baseline, origin = _resolve_baseline(args.baseline, records, ids, args.suite)
+    print(f"== bench compare: run {current_id} vs {origin} ==")
+    comparisons, unmatched = compare_runs(
+        baseline, current, tolerance=args.tolerance
+    )
+    for comparison in comparisons:
+        print(f"  {comparison.describe()}")
+    for name in unmatched:
+        print(f"  {name:<28} (present in only one of the runs)")
+    overall = worst_verdict(comparisons)
+    if overall is None:
+        print("no benchmarks in common with the baseline")
+        return 2
+    print(f"overall: {overall} (tolerance {args.tolerance * 100:g}%)")
+    if overall == REGRESSED and not args.warn_only:
+        return 1
+    return 0
+
+
+def _bench_report_command(args: argparse.Namespace) -> int:
+    from repro.obs.bench import load_history, run_ids, samples_by_bench
+    from repro.obs.regress import compare_runs
+    from repro.obs.report import render_bench_report
+
+    history = _bench_history(args)
+    records, skipped = load_history(history)
+    if args.suite is not None:
+        records = [r for r in records if r["suite"] == args.suite]
+    comparisons = None
+    ids = run_ids(records)
+    if len(ids) >= 2:
+        comparisons, _ = compare_runs(
+            samples_by_bench(records, run_id=ids[-2], suite=args.suite),
+            samples_by_bench(records, run_id=ids[-1], suite=args.suite),
+            tolerance=args.tolerance,
+        )
+    out = render_bench_report(
+        records, args.out, skipped=skipped, comparisons=comparisons
+    )
+    print(f"bench report written to {out} ({len(records)} records)")
+    return 0
+
+
+def _bench_command(args: argparse.Namespace) -> int:
+    from repro.core.errors import ConfigurationError
+
+    try:
+        if args.bench_command == "run":
+            return _bench_run_command(args)
+        if args.bench_command == "compare":
+            return _bench_compare_command(args)
+        return _bench_report_command(args)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     parser = build_parser()
@@ -214,8 +607,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cache_command(args.action)
 
     if args.command == "trace":
-        print(summary_text(args.file, top=args.top))
-        return 0
+        return _trace_command(args)
+
+    if args.command == "bench":
+        return _bench_command(args)
+
+    from repro.obs import ResourceSampler
 
     trace_length, trace_path = _split_trace_arg(args.trace)
     if trace_path is not None:
@@ -227,6 +624,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.workers is not None:
         configure_engine(workers=args.workers)
 
+    sampler = ResourceSampler()
+    sampler.start()
     try:
         settings = _settings_from_args(args, trace_length)
         if args.command == "run":
@@ -237,11 +636,18 @@ def main(argv: Optional[List[str]] = None) -> int:
                 result = run_experiment(name, settings)
                 _emit(result, args.out)
 
+        resources = sampler.stop()
         if args.stats:
             print(get_engine().stats.summary())
+            if resources.get("rss_peak_bytes"):
+                print(
+                    f"peak rss           "
+                    f"{resources['rss_peak_bytes'] / 1e6:.1f} MB"
+                )
         if trace_path is not None:
             print(f"trace spans written to {trace_path}")
     finally:
+        sampler.stop()
         if trace_path is not None:
             disable_tracing()
     return 0

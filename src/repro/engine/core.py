@@ -42,7 +42,8 @@ from repro.engine.stats import EngineStats
 from repro.engine.store import ResultStore
 from repro.engine.workers import population_shard, simulation_job
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.trace import span as trace_span
+from repro.obs.provenance import provenance_stamp
+from repro.obs.trace import span as trace_span, tracing_enabled
 from repro.yieldmodel.constraints import ConstraintPolicy, NOMINAL_POLICY
 
 __all__ = [
@@ -113,6 +114,41 @@ class Engine:
             workers=self.config.workers, timeout=self.config.job_timeout
         )
         self._memo: Dict[str, object] = {}
+        self._provenance: Optional[Dict[str, object]] = None
+
+    def provenance(self) -> Dict[str, object]:
+        """Provenance stamp of this engine's code and configuration.
+
+        Computed once per engine (the git subprocesses cost ~10ms) and
+        attached to every dispatch trace span, so traced runs — and the
+        bench records built on them — always say which commit and which
+        engine configuration produced the numbers.
+        """
+        if self._provenance is None:
+            self._provenance = provenance_stamp(
+                workers=self.config.workers,
+                config={
+                    "workers": self.config.workers,
+                    "persistent": self.config.persistent,
+                    "job_timeout": self.config.job_timeout,
+                },
+            )
+        return self._provenance
+
+    def _dispatch_provenance(self) -> Dict[str, object]:
+        """Provenance attrs for dispatch spans (empty when untraced).
+
+        Guarded so untraced runs never pay the one-time git subprocess
+        cost of building the stamp.
+        """
+        if not tracing_enabled():
+            return {}
+        stamp = self.provenance()
+        return {
+            "sha": stamp["git_sha"],
+            "dirty": stamp["dirty"],
+            "config": stamp["config_hash"],
+        }
 
     # ------------------------------------------------------------------
     # cache plumbing
@@ -176,7 +212,8 @@ class Engine:
         )
         jobs = self._population_jobs(settings.seed, settings.chips)
         with trace_span(
-            "engine.dispatch", kind="population", jobs=len(jobs)
+            "engine.dispatch", kind="population", jobs=len(jobs),
+            **self._dispatch_provenance(),
         ):
             shards = self._executor.run(population_shard, jobs, self.stats)
         regular = [circuit for shard in shards for circuit in shard[0]]
@@ -250,7 +287,8 @@ class Engine:
             sp.set(misses=len(misses))
             if misses:
                 with self.stats.stage("simulation"), trace_span(
-                    "engine.dispatch", kind="simulation", jobs=len(misses)
+                    "engine.dispatch", kind="simulation", jobs=len(misses),
+                    **self._dispatch_provenance(),
                 ):
                     computed = self._executor.run(
                         simulation_job,

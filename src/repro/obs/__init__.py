@@ -1,16 +1,27 @@
-"""Observability: hierarchical trace spans and a metrics registry.
+"""Observability: tracing, metrics, benchmarks and perf-trend reports.
 
 Zero-dependency instrumentation threaded through the hot layers — engine
 dispatch, the persistent store, pool workers, the pipeline simulator and
 every experiment entry point. Tracing is off by default (the disabled
 :func:`span` path is a no-op object); enable it with
 ``repro run ... --trace out.jsonl`` or ``REPRO_TRACE_FILE``. Metrics are
-always on: instruments are plain counters touched once per job, and
+always on: instruments are plain counters touched once per job (and
+thread-safe, so the background :class:`ResourceSampler` can share a
+registry with experiment code), and
 :class:`~repro.engine.stats.EngineStats` is a thin view over the
 engine's registry.
 
-See :mod:`repro.obs.trace`, :mod:`repro.obs.metrics` and
-:mod:`repro.obs.summary`.
+On top of those primitives sits the perf-regression layer:
+:mod:`repro.obs.bench` (provenance-stamped benchmark harness and the
+``BENCH_history.json`` trend store), :mod:`repro.obs.regress`
+(bootstrap-CI change detection) and :mod:`repro.obs.report`
+(self-contained HTML trend reports and trace flamegraphs), surfaced as
+``repro bench run|compare|report`` and ``repro trace flamegraph``.
+
+See :mod:`repro.obs.trace`, :mod:`repro.obs.metrics`,
+:mod:`repro.obs.summary`, :mod:`repro.obs.provenance`,
+:mod:`repro.obs.sampler`, :mod:`repro.obs.bench`,
+:mod:`repro.obs.regress` and :mod:`repro.obs.report`.
 """
 
 from repro.obs.metrics import (
@@ -21,8 +32,24 @@ from repro.obs.metrics import (
     get_metrics,
     reset_metrics,
 )
+from repro.obs.provenance import (
+    config_hash,
+    git_revision,
+    provenance_stamp,
+    working_tree_dirty,
+)
+from repro.obs.regress import (
+    IMPROVED,
+    NEUTRAL,
+    REGRESSED,
+    Comparison,
+    classify,
+    compare_runs,
+)
+from repro.obs.sampler import ResourceSampler
 from repro.obs.summary import (
     load_spans,
+    load_spans_counted,
     render_summary,
     summarize_spans,
     summary_text,
@@ -38,21 +65,33 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "Comparison",
     "Counter",
     "Gauge",
     "Histogram",
+    "IMPROVED",
     "MetricsRegistry",
+    "NEUTRAL",
+    "REGRESSED",
+    "ResourceSampler",
     "Span",
     "Tracer",
+    "classify",
+    "compare_runs",
+    "config_hash",
     "configure_tracing",
     "disable_tracing",
     "get_metrics",
     "get_tracer",
+    "git_revision",
     "load_spans",
+    "load_spans_counted",
+    "provenance_stamp",
     "render_summary",
     "reset_metrics",
     "span",
     "summarize_spans",
     "summary_text",
     "tracing_enabled",
+    "working_tree_dirty",
 ]

@@ -1,0 +1,479 @@
+"""Benchmark harness and provenance-stamped trend store.
+
+The repo's hot paths — engine dispatch, the pipeline simulator, the
+YAPD/H-YAPD/VACA classification sweeps — had no recorded perf
+trajectory, so a regression would ship silently. This module gives them
+one:
+
+* **Suites** (:data:`SUITES`) — small, deterministic benchmark sets that
+  exercise one hot path each through the real :class:`Engine` (a scratch,
+  non-persistent engine, memo cleared between repeats, so every timed
+  run recomputes).
+* **Harness** (:func:`run_suite`) — warmup + repeated timed runs on
+  ``time.perf_counter``, a per-benchmark engine ``MetricsRegistry``
+  snapshot, and resource gauges from the background sampler.
+* **Trend store** (:func:`load_history` / :func:`append_history`) — a
+  schema-versioned ``BENCH_history.json`` holding one provenance-stamped
+  record per benchmark per run, plus ``BENCH_<suite>.json`` latest-result
+  files. Individual garbled records are skipped with a count (the same
+  corruption-tolerance policy as the result store); a wrong *file*
+  schema version refuses loudly, because silently reinterpreting old
+  timings would poison every later comparison.
+
+``repro bench run|compare|report`` is the CLI surface;
+:mod:`repro.obs.regress` turns two runs into verdicts and
+:mod:`repro.obs.report` renders the history as a self-contained HTML
+page.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import statistics
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.errors import ConfigurationError
+from repro.obs.metrics import get_metrics
+from repro.obs.provenance import config_hash, provenance_stamp
+
+__all__ = [
+    "Benchmark",
+    "BenchResult",
+    "HISTORY_SCHEMA_VERSION",
+    "DEFAULT_HISTORY_PATH",
+    "SUITES",
+    "append_history",
+    "available_suites",
+    "bench_run",
+    "latest_path",
+    "load_history",
+    "make_record",
+    "new_run_id",
+    "run_ids",
+    "run_suite",
+    "samples_by_bench",
+    "save_history",
+    "write_latest",
+]
+
+#: Bump when the record layout changes incompatibly; gates every load.
+HISTORY_SCHEMA_VERSION = 1
+
+#: Default trend-store location (repo root, committed-friendly).
+DEFAULT_HISTORY_PATH = pathlib.Path("BENCH_history.json")
+
+
+# ----------------------------------------------------------------------
+# benchmark definitions
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Benchmark:
+    """One named benchmark.
+
+    ``prepare(engine)`` does the untimed setup (building settings,
+    computing a population the timed body only *classifies*, ...) and
+    returns the zero-argument thunk the harness times. A ``cleanup``
+    attribute on the thunk, when present, runs after the last repeat.
+    """
+
+    name: str
+    prepare: Callable[["object"], Callable[[], object]]
+
+
+def _bench_settings(**overrides):
+    from repro.experiments.common import ExperimentSettings
+
+    base = {
+        "seed": 2006,
+        "chips": 64,
+        "trace_length": 2500,
+        "warmup": 500,
+        "benchmarks": ("gzip",),
+    }
+    base.update(overrides)
+    return ExperimentSettings(**base)
+
+
+def _prepare_population(engine):
+    settings = _bench_settings(chips=64)
+
+    def run():
+        engine.clear_memory()
+        return engine.population(settings)
+
+    return run
+
+
+def _prepare_store_roundtrip(engine):
+    from repro.engine.store import ResultStore
+
+    tmp = tempfile.TemporaryDirectory(prefix="repro-bench-store-")
+    store = ResultStore(pathlib.Path(tmp.name))
+    payload = {"rows": [[i, i * 0.5, f"cfg-{i}"] for i in range(200)]}
+    keys = [
+        ResultStore.key_for("bench", {"index": i, "payload": "fixed"})
+        for i in range(40)
+    ]
+
+    def run():
+        for key in keys:
+            store.save("bench", key, payload)
+        loaded = 0
+        for key in keys:
+            if store.load("bench", key) is not None:
+                loaded += 1
+        return loaded
+
+    run.cleanup = tmp.cleanup
+    return run
+
+
+def _prepare_simulation(benchmark: str):
+    def prepare(engine):
+        settings = _bench_settings(chips=16, benchmarks=(benchmark,))
+
+        def run():
+            engine.clear_memory()
+            return engine.simulate(settings, benchmark)
+
+        return run
+
+    return prepare
+
+
+def _prepare_breakdown(horizontal: bool):
+    def prepare(engine):
+        from repro.experiments.common import scheme_set
+
+        settings = _bench_settings(chips=96)
+        pop = engine.population(settings)
+        schemes = scheme_set(horizontal=horizontal)
+
+        def run():
+            return pop.breakdown(schemes, horizontal=horizontal)
+
+        return run
+
+    return prepare
+
+
+#: Suite name -> benchmark list. Each suite is one hot path the ROADMAP
+#: cares about; every suite stays in CI-smoke territory (seconds).
+SUITES: Dict[str, List[Benchmark]] = {
+    "engine": [
+        Benchmark("engine.population", _prepare_population),
+        Benchmark("engine.store_roundtrip", _prepare_store_roundtrip),
+    ],
+    "pipeline": [
+        Benchmark("pipeline.sim_gzip", _prepare_simulation("gzip")),
+        Benchmark("pipeline.sim_mcf", _prepare_simulation("mcf")),
+    ],
+    "schemes": [
+        Benchmark("schemes.breakdown_vertical", _prepare_breakdown(False)),
+        Benchmark("schemes.breakdown_horizontal", _prepare_breakdown(True)),
+    ],
+}
+
+
+def available_suites() -> List[str]:
+    """All suite names, in presentation order."""
+    return list(SUITES)
+
+
+# ----------------------------------------------------------------------
+# harness
+# ----------------------------------------------------------------------
+@dataclass
+class BenchResult:
+    """Raw outcome of one benchmark: timing samples plus context."""
+
+    suite: str
+    bench: str
+    samples: List[float]
+    warmup: int
+    metrics: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def median(self) -> float:
+        return statistics.median(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return statistics.fmean(self.samples)
+
+
+def run_suite(
+    suite: str,
+    repeats: int = 5,
+    warmup: int = 1,
+    workers: int = 1,
+) -> List[BenchResult]:
+    """Run every benchmark of ``suite`` and return raw results.
+
+    A scratch non-persistent :class:`Engine` is built per suite run (the
+    process-wide engine and its ``.repro_cache/`` are never touched), and
+    its memo is cleared by the benchmarks that must recompute, so the
+    numbers measure compute — not cache reads.
+    """
+    from repro.engine.core import Engine, EngineConfig
+
+    if suite not in SUITES:
+        raise ConfigurationError(
+            f"unknown bench suite {suite!r}; available: {available_suites()}"
+        )
+    if repeats < 1:
+        raise ConfigurationError("repeats must be >= 1")
+    if warmup < 0:
+        raise ConfigurationError("warmup must be >= 0")
+    engine = Engine(EngineConfig(workers=workers, persistent=False))
+    results: List[BenchResult] = []
+    for benchmark in SUITES[suite]:
+        thunk = benchmark.prepare(engine)
+        try:
+            for _ in range(warmup):
+                thunk()
+            samples: List[float] = []
+            for _ in range(repeats):
+                start = time.perf_counter()
+                thunk()
+                samples.append(time.perf_counter() - start)
+        finally:
+            cleanup = getattr(thunk, "cleanup", None)
+            if cleanup is not None:
+                cleanup()
+        snapshot = engine.metrics.snapshot()
+        results.append(
+            BenchResult(
+                suite=suite,
+                bench=benchmark.name,
+                samples=samples,
+                warmup=warmup,
+                metrics={"counters": snapshot["counters"]},
+            )
+        )
+        engine.metrics.reset()
+    return results
+
+
+def _resource_snapshot() -> Dict[str, float]:
+    """Resource gauges from the process-wide registry (sampler output)."""
+    registry = get_metrics()
+    snap = {
+        "rss_peak_bytes": registry.gauge("proc.rss_peak_bytes").value,
+        "cpu_user_seconds": registry.gauge("proc.cpu_user_seconds").value,
+        "cpu_system_seconds": registry.gauge("proc.cpu_system_seconds").value,
+    }
+    return {key: value for key, value in snap.items() if value}
+
+
+# ----------------------------------------------------------------------
+# records and the trend store
+# ----------------------------------------------------------------------
+def make_record(
+    result: BenchResult,
+    run_id: str,
+    created: float,
+    provenance: Dict[str, object],
+) -> Dict[str, object]:
+    """One schema-versioned, provenance-stamped history record."""
+    return {
+        "schema": HISTORY_SCHEMA_VERSION,
+        "run_id": run_id,
+        "suite": result.suite,
+        "bench": result.bench,
+        "created": round(created, 3),
+        "repeats": len(result.samples),
+        "warmup": result.warmup,
+        "samples": [round(s, 9) for s in result.samples],
+        "median": round(result.median, 9),
+        "mean": round(result.mean, 9),
+        "min": round(min(result.samples), 9),
+        "max": round(max(result.samples), 9),
+        "provenance": provenance,
+        "metrics": result.metrics,
+        "resources": _resource_snapshot(),
+    }
+
+
+def new_run_id(
+    suite: str, created: float, provenance: Dict[str, object]
+) -> str:
+    """Stable short id tying one suite run's records together."""
+    return config_hash(
+        {"suite": suite, "created": created, "provenance": provenance}
+    )
+
+
+def _valid_record(record: object) -> bool:
+    if not isinstance(record, dict):
+        return False
+    samples = record.get("samples")
+    return (
+        isinstance(record.get("run_id"), str)
+        and isinstance(record.get("suite"), str)
+        and isinstance(record.get("bench"), str)
+        and isinstance(samples, list)
+        and len(samples) > 0
+        and all(isinstance(s, (int, float)) for s in samples)
+        and isinstance(record.get("provenance"), dict)
+    )
+
+
+def load_history(path: pathlib.Path) -> Tuple[List[Dict[str, object]], int]:
+    """Load the trend store: ``(records, skipped_record_count)``.
+
+    A missing file is an empty history. A file that is not JSON, not the
+    expected shape, or carries a different schema version raises
+    :class:`ConfigurationError` — old histories must be migrated or moved
+    aside explicitly, never silently reinterpreted. Records that are
+    individually malformed are skipped and counted.
+    """
+    path = pathlib.Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except FileNotFoundError:
+        return [], 0
+    except OSError as exc:
+        raise ConfigurationError(f"cannot read bench history {path}: {exc}")
+    try:
+        document = json.loads(text)
+    except ValueError as exc:
+        raise ConfigurationError(
+            f"bench history {path} is not valid JSON ({exc}); "
+            "move it aside to start a fresh history"
+        )
+    if not isinstance(document, dict) or "records" not in document:
+        raise ConfigurationError(
+            f"bench history {path} has an unexpected shape "
+            "(expected an object with a 'records' list)"
+        )
+    version = document.get("version")
+    if version != HISTORY_SCHEMA_VERSION:
+        raise ConfigurationError(
+            f"bench history {path} has schema version {version!r}, "
+            f"this build writes {HISTORY_SCHEMA_VERSION}; "
+            "move the file aside to start a fresh history"
+        )
+    records: List[Dict[str, object]] = []
+    skipped = 0
+    for record in document["records"]:
+        if _valid_record(record):
+            records.append(record)
+        else:
+            skipped += 1
+    return records, skipped
+
+
+def save_history(path: pathlib.Path, records: Sequence[Dict[str, object]]) -> None:
+    """Atomically write the whole trend store."""
+    path = pathlib.Path(path)
+    document = {
+        "version": HISTORY_SCHEMA_VERSION,
+        "records": list(records),
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        dir=str(path.parent), prefix=".tmp-bench-", suffix=".json"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+
+
+def append_history(
+    path: pathlib.Path, new_records: Sequence[Dict[str, object]]
+) -> int:
+    """Append records to the store; returns the total record count."""
+    records, _skipped = load_history(path)
+    records.extend(new_records)
+    save_history(path, records)
+    return len(records)
+
+
+def latest_path(suite: str, directory: pathlib.Path) -> pathlib.Path:
+    """Where the latest-result file of ``suite`` lives."""
+    return pathlib.Path(directory) / f"BENCH_{suite}.json"
+
+
+def write_latest(
+    suite: str,
+    records: Sequence[Dict[str, object]],
+    directory: pathlib.Path = pathlib.Path("."),
+) -> pathlib.Path:
+    """Write ``BENCH_<suite>.json`` holding just this run's records."""
+    path = latest_path(suite, directory)
+    save_history(path, records)
+    return path
+
+
+# ----------------------------------------------------------------------
+# history queries (the compare/report verbs build on these)
+# ----------------------------------------------------------------------
+def run_ids(records: Sequence[Dict[str, object]]) -> List[str]:
+    """Distinct run ids in first-appearance (chronological) order."""
+    seen: List[str] = []
+    for record in records:
+        run_id = record["run_id"]
+        if run_id not in seen:
+            seen.append(run_id)
+    return seen
+
+
+def samples_by_bench(
+    records: Sequence[Dict[str, object]],
+    run_id: Optional[str] = None,
+    suite: Optional[str] = None,
+) -> Dict[str, List[float]]:
+    """``{bench: samples}`` for one run (or the whole history slice)."""
+    out: Dict[str, List[float]] = {}
+    for record in records:
+        if run_id is not None and record["run_id"] != run_id:
+            continue
+        if suite is not None and record["suite"] != suite:
+            continue
+        out[record["bench"]] = [float(s) for s in record["samples"]]
+    return out
+
+
+def bench_run(
+    suite: str,
+    repeats: int = 5,
+    warmup: int = 1,
+    workers: int = 1,
+    history: pathlib.Path = DEFAULT_HISTORY_PATH,
+    latest_dir: pathlib.Path = pathlib.Path("."),
+    created: Optional[float] = None,
+) -> Tuple[str, List[Dict[str, object]]]:
+    """Run one suite and persist its records (harness + store in one call).
+
+    Returns ``(run_id, records)``; the records are appended to
+    ``history`` and mirrored into ``BENCH_<suite>.json``.
+    """
+    results = run_suite(suite, repeats=repeats, warmup=warmup, workers=workers)
+    created = time.time() if created is None else created
+    provenance = provenance_stamp(
+        workers=workers,
+        config={
+            "suite": suite,
+            "repeats": repeats,
+            "warmup": warmup,
+            "workers": workers,
+        },
+    )
+    run_id = new_run_id(suite, created, provenance)
+    records = [
+        make_record(result, run_id, created, provenance) for result in results
+    ]
+    append_history(history, records)
+    write_latest(suite, records, latest_dir)
+    return run_id, records

@@ -16,11 +16,19 @@ Two registries exist in practice:
 Everything here is plain Python on purpose: instruments sit on hot-ish
 paths (once per job, never per simulated cycle) and must not pull in
 anything the container lacks.
+
+Thread safety: mutation through :meth:`Counter.inc`, :meth:`Gauge.set`
+and :meth:`Histogram.observe` takes a per-instrument lock, and the
+registry locks instrument creation — the background resource sampler
+(:mod:`repro.obs.sampler`) shares registries with experiment threads.
+Direct writes to ``Counter.value`` (the :class:`EngineStats` property
+setters) stay unlocked and remain confined to the engine's own thread.
 """
 
 from __future__ import annotations
 
 import bisect
+import threading
 from typing import Dict, List, Optional, Sequence
 
 __all__ = [
@@ -36,27 +44,31 @@ __all__ = [
 class Counter:
     """Monotonically increasing value (floats allowed for seconds)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value: float = 0.0
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1.0) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
 
 class Gauge:
     """Last-written value (e.g. events per second of the latest run)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value: float = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
-        self.value = float(value)
+        with self._lock:
+            self.value = float(value)
 
 
 #: Default histogram bucket upper bounds (seconds-oriented, log-spaced).
@@ -73,7 +85,10 @@ class Histogram:
     without keeping every sample.
     """
 
-    __slots__ = ("name", "bounds", "bucket_counts", "count", "total", "min", "max")
+    __slots__ = (
+        "name", "bounds", "bucket_counts", "count", "total", "min", "max",
+        "_lock",
+    )
 
     def __init__(
         self, name: str, bounds: Optional[Sequence[float]] = None
@@ -85,15 +100,17 @@ class Histogram:
         self.total = 0.0
         self.min = float("inf")
         self.max = float("-inf")
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        self.bucket_counts[bisect.bisect_left(self.bounds, value)] += 1
-        self.count += 1
-        self.total += value
-        if value < self.min:
-            self.min = value
-        if value > self.max:
-            self.max = value
+        with self._lock:
+            self.bucket_counts[bisect.bisect_left(self.bounds, value)] += 1
+            self.count += 1
+            self.total += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
 
     @property
     def mean(self) -> float:
@@ -125,20 +142,29 @@ class MetricsRegistry:
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
+        # Guards first-use creation: two threads asking for the same
+        # name must end up sharing one instrument, not racing on it.
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     def counter(self, name: str) -> Counter:
         instrument = self._counters.get(name)
         if instrument is None:
-            self._check_free(name, self._counters)
-            instrument = self._counters[name] = Counter(name)
+            with self._lock:
+                instrument = self._counters.get(name)
+                if instrument is None:
+                    self._check_free(name, self._counters)
+                    instrument = self._counters[name] = Counter(name)
         return instrument
 
     def gauge(self, name: str) -> Gauge:
         instrument = self._gauges.get(name)
         if instrument is None:
-            self._check_free(name, self._gauges)
-            instrument = self._gauges[name] = Gauge(name)
+            with self._lock:
+                instrument = self._gauges.get(name)
+                if instrument is None:
+                    self._check_free(name, self._gauges)
+                    instrument = self._gauges[name] = Gauge(name)
         return instrument
 
     def histogram(
@@ -146,8 +172,13 @@ class MetricsRegistry:
     ) -> Histogram:
         instrument = self._histograms.get(name)
         if instrument is None:
-            self._check_free(name, self._histograms)
-            instrument = self._histograms[name] = Histogram(name, bounds)
+            with self._lock:
+                instrument = self._histograms.get(name)
+                if instrument is None:
+                    self._check_free(name, self._histograms)
+                    instrument = self._histograms[name] = Histogram(
+                        name, bounds
+                    )
         return instrument
 
     def _check_free(self, name: str, own: Dict[str, object]) -> None:

@@ -1,0 +1,188 @@
+"""Statistical change detection for benchmark timings (stdlib only).
+
+Timing samples are noisy and non-normal, so a bare "is the new median
+bigger" check flags regressions on every scheduler hiccup. Instead we
+bootstrap a confidence interval on the *relative median delta*
+``(median(current) - median(baseline)) / median(baseline)`` and demand
+that the whole interval clears a tolerance band before calling a change:
+
+* CI entirely above ``+tolerance``  → **regressed** (slower);
+* CI entirely below ``-tolerance``  → **improved** (faster);
+* anything else                     → **neutral**.
+
+The resampling RNG is seeded, so a given pair of sample sets always
+yields the same verdict — CI reruns and the tests in
+``tests/test_obs_bench.py`` rely on that determinism.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "IMPROVED",
+    "NEUTRAL",
+    "REGRESSED",
+    "Comparison",
+    "bootstrap_median_delta_ci",
+    "classify",
+    "compare_runs",
+    "worst_verdict",
+]
+
+IMPROVED = "improved"
+NEUTRAL = "neutral"
+REGRESSED = "regressed"
+
+#: Default half-width of the "no change" band (5% of the baseline median).
+DEFAULT_TOLERANCE = 0.05
+
+#: Default bootstrap resamples; enough for a stable 95% interval on the
+#: handful-of-repeats sample sizes the bench harness produces.
+DEFAULT_ITERATIONS = 2000
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """Verdict for one benchmark against its baseline."""
+
+    bench: str
+    verdict: str
+    baseline_median: float
+    current_median: float
+    delta: float  # relative: (current - baseline) / baseline
+    ci_low: float
+    ci_high: float
+    tolerance: float
+
+    @property
+    def percent(self) -> float:
+        """The delta as a percentage (positive = slower)."""
+        return self.delta * 100.0
+
+    def describe(self) -> str:
+        """One human-readable line for CLI output."""
+        return (
+            f"{self.bench:<28} {self.verdict:<9} "
+            f"{self.baseline_median * 1e3:9.3f}ms -> "
+            f"{self.current_median * 1e3:9.3f}ms  "
+            f"{self.percent:+7.2f}%  "
+            f"ci [{self.ci_low * 100:+.2f}%, {self.ci_high * 100:+.2f}%]"
+        )
+
+
+def _relative_median_delta(
+    baseline: Sequence[float], current: Sequence[float]
+) -> float:
+    base = statistics.median(baseline)
+    if base == 0.0:
+        return 0.0
+    return (statistics.median(current) - base) / base
+
+
+def bootstrap_median_delta_ci(
+    baseline: Sequence[float],
+    current: Sequence[float],
+    iterations: int = DEFAULT_ITERATIONS,
+    confidence: float = 0.95,
+    seed: int = 2006,
+) -> Tuple[float, float]:
+    """Percentile-bootstrap CI on the relative median delta.
+
+    Both sample sets are resampled with replacement ``iterations`` times;
+    the ``(1 - confidence)`` tails of the resulting delta distribution
+    are trimmed symmetrically. Deterministic for a given seed.
+    """
+    if not baseline or not current:
+        raise ValueError("both sample sets must be non-empty")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    rng = random.Random(seed)
+    baseline = list(baseline)
+    current = list(current)
+    deltas = sorted(
+        _relative_median_delta(
+            rng.choices(baseline, k=len(baseline)),
+            rng.choices(current, k=len(current)),
+        )
+        for _ in range(iterations)
+    )
+    tail = (1.0 - confidence) / 2.0
+    low_index = min(int(tail * iterations), iterations - 1)
+    high_index = max(iterations - 1 - low_index, 0)
+    return deltas[low_index], deltas[high_index]
+
+
+def classify(
+    baseline: Sequence[float],
+    current: Sequence[float],
+    bench: str = "",
+    tolerance: float = DEFAULT_TOLERANCE,
+    iterations: int = DEFAULT_ITERATIONS,
+    confidence: float = 0.95,
+    seed: int = 2006,
+) -> Comparison:
+    """Classify one benchmark's current samples against its baseline."""
+    if tolerance < 0:
+        raise ValueError("tolerance must be >= 0")
+    ci_low, ci_high = bootstrap_median_delta_ci(
+        baseline, current,
+        iterations=iterations, confidence=confidence, seed=seed,
+    )
+    delta = _relative_median_delta(baseline, current)
+    if ci_low > tolerance:
+        verdict = REGRESSED
+    elif ci_high < -tolerance:
+        verdict = IMPROVED
+    else:
+        verdict = NEUTRAL
+    return Comparison(
+        bench=bench,
+        verdict=verdict,
+        baseline_median=statistics.median(baseline),
+        current_median=statistics.median(current),
+        delta=delta,
+        ci_low=ci_low,
+        ci_high=ci_high,
+        tolerance=tolerance,
+    )
+
+
+def compare_runs(
+    baseline: Dict[str, Sequence[float]],
+    current: Dict[str, Sequence[float]],
+    tolerance: float = DEFAULT_TOLERANCE,
+    iterations: int = DEFAULT_ITERATIONS,
+    seed: int = 2006,
+) -> Tuple[List[Comparison], List[str]]:
+    """Compare two runs' per-benchmark sample sets.
+
+    Returns the comparisons for every benchmark present in both runs
+    (sorted by name) plus the names present in only one of them — a
+    renamed or dropped benchmark should be surfaced, not silently
+    ignored.
+    """
+    comparisons = [
+        classify(
+            baseline[name], current[name], bench=name,
+            tolerance=tolerance, iterations=iterations, seed=seed,
+        )
+        for name in sorted(set(baseline) & set(current))
+    ]
+    unmatched = sorted(set(baseline) ^ set(current))
+    return comparisons, unmatched
+
+
+def worst_verdict(comparisons: Sequence[Comparison]) -> Optional[str]:
+    """The most severe verdict across ``comparisons`` (None when empty)."""
+    if not comparisons:
+        return None
+    verdicts = {c.verdict for c in comparisons}
+    if REGRESSED in verdicts:
+        return REGRESSED
+    if IMPROVED in verdicts:
+        return IMPROVED
+    return NEUTRAL

@@ -12,14 +12,27 @@ from __future__ import annotations
 
 import json
 import pathlib
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
-__all__ = ["load_spans", "summarize_spans", "render_summary", "summary_text"]
+__all__ = [
+    "load_spans",
+    "load_spans_counted",
+    "summarize_spans",
+    "render_summary",
+    "summary_text",
+]
 
 
-def load_spans(path: pathlib.Path) -> List[dict]:
-    """Parse a JSONL trace; malformed or foreign lines are skipped."""
+def load_spans_counted(path: pathlib.Path) -> Tuple[List[dict], int]:
+    """Parse a JSONL trace: ``(spans, skipped_line_count)``.
+
+    Malformed, truncated or foreign lines are skipped *and counted* —
+    matching the result store's corruption-tolerance policy, a killed
+    run must stay inspectable, but the reader deserves to know how much
+    of the trace was lost.
+    """
     spans: List[dict] = []
+    skipped = 0
     with open(path, "r", encoding="utf-8", errors="replace") as handle:
         for line in handle:
             line = line.strip()
@@ -28,6 +41,7 @@ def load_spans(path: pathlib.Path) -> List[dict]:
             try:
                 record = json.loads(line)
             except ValueError:
+                skipped += 1
                 continue
             if (
                 isinstance(record, dict)
@@ -35,10 +49,19 @@ def load_spans(path: pathlib.Path) -> List[dict]:
                 and isinstance(record.get("dur"), (int, float))
             ):
                 spans.append(record)
-    return spans
+            else:
+                skipped += 1
+    return spans, skipped
 
 
-def summarize_spans(spans: Iterable[dict], top: int = 10) -> Dict[str, object]:
+def load_spans(path: pathlib.Path) -> List[dict]:
+    """Parse a JSONL trace; malformed or foreign lines are skipped."""
+    return load_spans_counted(path)[0]
+
+
+def summarize_spans(
+    spans: Iterable[dict], top: int = 10, skipped: int = 0
+) -> Dict[str, object]:
     """Per-name aggregates plus the ``top`` slowest individual spans."""
     by_name: Dict[str, Dict[str, float]] = {}
     pids = set()
@@ -62,6 +85,7 @@ def summarize_spans(spans: Iterable[dict], top: int = 10) -> Dict[str, object]:
     slowest = sorted(spans, key=lambda r: float(r["dur"]), reverse=True)[:top]
     return {
         "spans": total,
+        "skipped": skipped,
         "processes": sorted(pids),
         "by_name": by_name,
         "slowest": slowest,
@@ -92,9 +116,12 @@ def render_summary(summary: Dict[str, object]) -> str:
         f"spans      {summary['spans']}",
         f"processes  {len(summary['processes'])} "
         f"(pids {', '.join(str(p) for p in summary['processes'])})",
-        "",
-        "per-span aggregates (by total time):",
     ]
+    if summary.get("skipped"):
+        lines.append(
+            f"warning    skipped {summary['skipped']} malformed trace line(s)"
+        )
+    lines.extend(["", "per-span aggregates (by total time):"])
     by_name: Dict[str, Dict[str, float]] = summary["by_name"]  # type: ignore
     rows = [
         [
@@ -128,4 +155,5 @@ def render_summary(summary: Dict[str, object]) -> str:
 
 def summary_text(path: pathlib.Path, top: int = 10) -> str:
     """Load, aggregate and render ``path`` in one call (the CLI path)."""
-    return render_summary(summarize_spans(load_spans(path), top=top))
+    spans, skipped = load_spans_counted(path)
+    return render_summary(summarize_spans(spans, top=top, skipped=skipped))

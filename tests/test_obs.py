@@ -86,6 +86,70 @@ class TestMetrics:
         json.dumps(registry.snapshot())
 
 
+class TestMetricsConcurrency:
+    """The background sampler shares registries with experiment threads."""
+
+    def test_concurrent_inc_and_observe_lose_nothing(self):
+        import threading
+
+        registry = MetricsRegistry()
+        threads_n, per_thread = 8, 5000
+        barrier = threading.Barrier(threads_n)
+
+        def hammer():
+            barrier.wait()
+            # All instrument lookups race on first use too.
+            counter = registry.counter("c")
+            hist = registry.histogram("h", bounds=[0.5])
+            gauge = registry.gauge("g")
+            for i in range(per_thread):
+                counter.inc()
+                hist.observe(0.25 if i % 2 else 0.75)
+                gauge.set(i)
+
+        threads = [threading.Thread(target=hammer) for _ in range(threads_n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        total = threads_n * per_thread
+        assert registry.counter("c").value == total
+        hist = registry.histogram("h")
+        assert hist.count == total
+        assert sum(hist.bucket_counts) == total
+        assert hist.total == pytest.approx(0.5 * total)
+        assert registry.gauge("g").value == per_thread - 1
+
+    def test_sampler_thread_shares_registry_with_worker(self):
+        import threading
+
+        from repro.obs import ResourceSampler
+
+        registry = MetricsRegistry()
+        sampler = ResourceSampler(registry, interval=0.002)
+        stop = threading.Event()
+
+        def workload():
+            counter = registry.counter("work")
+            while not stop.is_set():
+                counter.inc()
+
+        worker = threading.Thread(target=workload)
+        with sampler:
+            worker.start()
+            import time as _time
+            _time.sleep(0.05)
+            stop.set()
+            worker.join()
+        summary = sampler.summary()
+        assert summary["samples"] >= 1
+        assert summary["cpu_user_seconds"] > 0.0
+        if os.path.exists("/proc/self/status"):
+            assert summary["rss_bytes"] > 0
+            assert summary["rss_peak_bytes"] >= summary["rss_bytes"]
+        assert registry.counter("work").value > 0
+
+
 # ----------------------------------------------------------------------
 # tracer
 # ----------------------------------------------------------------------
@@ -154,6 +218,34 @@ class TestSummary:
         )
         spans = load_spans(path)
         assert len(spans) == 2
+
+    def test_malformed_lines_are_counted(self, tmp_path):
+        from repro.obs import load_spans_counted, summary_text
+
+        path = tmp_path / "t.jsonl"
+        good = {"name": "ok", "dur": 0.5, "pid": 1}
+        path.write_text(
+            json.dumps(good) + "\n"
+            + "{truncated\n"
+            + json.dumps({"dur": 1.0}) + "\n"  # no name
+            + json.dumps(good) + "\n",
+            encoding="utf-8",
+        )
+        spans, skipped = load_spans_counted(path)
+        assert len(spans) == 2
+        assert skipped == 2
+        text = summary_text(path)
+        assert "skipped 2 malformed trace line(s)" in text
+
+    def test_clean_trace_reports_no_skip_warning(self, tmp_path):
+        from repro.obs import summary_text
+
+        path = tmp_path / "t.jsonl"
+        path.write_text(
+            json.dumps({"name": "ok", "dur": 0.5, "pid": 1}) + "\n",
+            encoding="utf-8",
+        )
+        assert "malformed" not in summary_text(path)
 
     def test_aggregates_and_top_n(self):
         spans = [

@@ -1,0 +1,491 @@
+"""Tests for the perf-regression layer (bench, regress, report, CLI)."""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.cli import main
+from repro.core.errors import ConfigurationError
+from repro.engine import reset_engine
+from repro.obs import disable_tracing, provenance_stamp, working_tree_dirty
+from repro.obs.bench import (
+    BenchResult,
+    HISTORY_SCHEMA_VERSION,
+    append_history,
+    load_history,
+    make_record,
+    new_run_id,
+    run_ids,
+    run_suite,
+    samples_by_bench,
+    save_history,
+)
+from repro.obs.regress import (
+    IMPROVED,
+    NEUTRAL,
+    REGRESSED,
+    bootstrap_median_delta_ci,
+    classify,
+    compare_runs,
+    worst_verdict,
+)
+from repro.obs.report import (
+    bench_report_html,
+    build_flame_tree,
+    flamegraph_html,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_state():
+    disable_tracing()
+    yield
+    disable_tracing()
+    reset_engine()
+
+
+def _samples(seed: int, center: float, spread: float, n: int = 20):
+    rng = random.Random(seed)
+    return [abs(rng.gauss(center, spread)) for _ in range(n)]
+
+
+def _record(bench="engine.population", run_id="run-a", median=0.1,
+            suite="engine", created=1000.0, samples=None):
+    result = BenchResult(
+        suite=suite, bench=bench,
+        samples=samples if samples is not None else [median] * 3,
+        warmup=1,
+    )
+    return make_record(
+        result, run_id, created, provenance_stamp(workers=1)
+    )
+
+
+# ----------------------------------------------------------------------
+# regress: seeded synthetic distributions with known verdicts
+# ----------------------------------------------------------------------
+class TestRegress:
+    def test_clear_regression_is_flagged(self):
+        baseline = _samples(1, 1.0, 0.02)
+        current = _samples(2, 1.5, 0.02)
+        comparison = classify(baseline, current, bench="x", tolerance=0.05)
+        assert comparison.verdict == REGRESSED
+        assert comparison.delta == pytest.approx(0.5, abs=0.05)
+        assert comparison.ci_low > 0.05
+
+    def test_clear_improvement_is_flagged(self):
+        baseline = _samples(3, 1.0, 0.02)
+        current = _samples(4, 0.5, 0.02)
+        comparison = classify(baseline, current, tolerance=0.05)
+        assert comparison.verdict == IMPROVED
+        assert comparison.ci_high < -0.05
+
+    def test_same_distribution_is_neutral(self):
+        baseline = _samples(5, 1.0, 0.02)
+        current = _samples(6, 1.0, 0.02)
+        assert classify(baseline, current, tolerance=0.05).verdict == NEUTRAL
+
+    def test_identical_samples_are_neutral(self):
+        samples = [0.5, 0.6, 0.7]
+        comparison = classify(samples, samples)
+        assert comparison.verdict == NEUTRAL
+        assert comparison.delta == 0.0
+
+    def test_constant_samples_have_zero_width_ci(self):
+        comparison = classify([0.5] * 5, [0.5] * 5)
+        assert comparison.verdict == NEUTRAL
+        assert comparison.ci_low == comparison.ci_high == 0.0
+
+    def test_small_shift_within_tolerance_is_neutral(self):
+        baseline = _samples(7, 1.0, 0.01)
+        current = _samples(8, 1.02, 0.01)  # +2% < 5% tolerance
+        assert classify(baseline, current, tolerance=0.05).verdict == NEUTRAL
+
+    def test_classification_is_deterministic(self):
+        baseline = _samples(9, 1.0, 0.05)
+        current = _samples(10, 1.1, 0.05)
+        first = classify(baseline, current, bench="b")
+        second = classify(baseline, current, bench="b")
+        assert first == second
+
+    def test_bootstrap_ci_brackets_the_delta(self):
+        baseline = _samples(11, 1.0, 0.02)
+        current = _samples(12, 1.2, 0.02)
+        low, high = bootstrap_median_delta_ci(baseline, current)
+        assert low <= 0.2 <= high + 0.05
+
+    def test_rejects_empty_samples_and_bad_params(self):
+        with pytest.raises(ValueError):
+            bootstrap_median_delta_ci([], [1.0])
+        with pytest.raises(ValueError):
+            bootstrap_median_delta_ci([1.0], [1.0], confidence=1.5)
+        with pytest.raises(ValueError):
+            classify([1.0], [1.0], tolerance=-0.1)
+
+    def test_compare_runs_reports_unmatched(self):
+        comparisons, unmatched = compare_runs(
+            {"a": [1.0, 1.0], "only_base": [1.0]},
+            {"a": [1.0, 1.0], "only_cur": [1.0]},
+        )
+        assert [c.bench for c in comparisons] == ["a"]
+        assert unmatched == ["only_base", "only_cur"]
+
+    def test_worst_verdict_orders_severity(self):
+        neutral = classify([1.0, 1.0], [1.0, 1.0], bench="n")
+        regressed = classify(
+            _samples(13, 1.0, 0.01), _samples(14, 2.0, 0.01), bench="r"
+        )
+        assert worst_verdict([]) is None
+        assert worst_verdict([neutral]) == NEUTRAL
+        assert worst_verdict([neutral, regressed]) == REGRESSED
+
+
+# ----------------------------------------------------------------------
+# trend store codec
+# ----------------------------------------------------------------------
+class TestHistoryCodec:
+    def test_missing_file_is_empty_history(self, tmp_path):
+        assert load_history(tmp_path / "none.json") == ([], 0)
+
+    def test_round_trip_preserves_records(self, tmp_path):
+        path = tmp_path / "BENCH_history.json"
+        records = [
+            _record(bench="a", run_id="r1", samples=[0.1, 0.2, 0.3]),
+            _record(bench="b", run_id="r1", samples=[0.4]),
+        ]
+        save_history(path, records)
+        loaded, skipped = load_history(path)
+        assert skipped == 0
+        assert loaded == records
+        assert loaded[0]["provenance"]["workers"] == 1
+
+    def test_append_accumulates(self, tmp_path):
+        path = tmp_path / "h.json"
+        assert append_history(path, [_record(run_id="r1")]) == 1
+        assert append_history(path, [_record(run_id="r2")]) == 2
+        loaded, _ = load_history(path)
+        assert run_ids(loaded) == ["r1", "r2"]
+
+    def test_schema_version_gate_refuses_other_versions(self, tmp_path):
+        path = tmp_path / "h.json"
+        path.write_text(
+            json.dumps({"version": HISTORY_SCHEMA_VERSION + 1, "records": []}),
+            encoding="utf-8",
+        )
+        with pytest.raises(ConfigurationError, match="schema version"):
+            load_history(path)
+
+    def test_non_json_and_wrong_shape_refuse(self, tmp_path):
+        path = tmp_path / "h.json"
+        path.write_text("{truncated", encoding="utf-8")
+        with pytest.raises(ConfigurationError, match="not valid JSON"):
+            load_history(path)
+        path.write_text(json.dumps([1, 2, 3]), encoding="utf-8")
+        with pytest.raises(ConfigurationError, match="unexpected shape"):
+            load_history(path)
+
+    def test_malformed_records_are_skipped_and_counted(self, tmp_path):
+        path = tmp_path / "h.json"
+        good = _record(run_id="r1")
+        path.write_text(
+            json.dumps({
+                "version": HISTORY_SCHEMA_VERSION,
+                "records": [
+                    good,
+                    {"run_id": "r2"},          # missing everything else
+                    {"run_id": "r3", "suite": "s", "bench": "b",
+                     "samples": [], "provenance": {}},  # empty samples
+                    "not-a-dict",
+                ],
+            }),
+            encoding="utf-8",
+        )
+        loaded, skipped = load_history(path)
+        assert loaded == [good]
+        assert skipped == 3
+
+    def test_samples_by_bench_filters_run_and_suite(self):
+        records = [
+            _record(bench="a", run_id="r1", samples=[1.0]),
+            _record(bench="a", run_id="r2", samples=[2.0]),
+            _record(bench="p", run_id="r2", suite="pipeline", samples=[3.0]),
+        ]
+        assert samples_by_bench(records, run_id="r2") == {
+            "a": [2.0], "p": [3.0]
+        }
+        assert samples_by_bench(records, run_id="r2", suite="engine") == {
+            "a": [2.0]
+        }
+
+
+# ----------------------------------------------------------------------
+# provenance
+# ----------------------------------------------------------------------
+class TestProvenance:
+    def test_stamp_has_identity_and_no_host_details(self):
+        stamp = provenance_stamp(workers=3, config={"suite": "engine"})
+        assert set(stamp) == {
+            "git_sha", "dirty", "python", "implementation", "platform",
+            "workers", "config_hash",
+        }
+        assert stamp["workers"] == 3
+        assert len(stamp["config_hash"]) == 12
+        # Records are committed/shared: nothing host-identifying.
+        text = json.dumps(stamp)
+        import socket
+        assert socket.gethostname() not in text
+
+    def test_stamp_in_this_repo_has_real_sha(self):
+        import pathlib
+        stamp = provenance_stamp(cwd=str(pathlib.Path(__file__).parent))
+        assert stamp["git_sha"] == "unknown" or (
+            len(stamp["git_sha"]) == 40
+            and all(c in "0123456789abcdef" for c in stamp["git_sha"])
+        )
+
+    def test_outside_a_repo_degrades_gracefully(self, tmp_path):
+        assert working_tree_dirty(cwd=str(tmp_path)) in (None, False)
+        stamp = provenance_stamp(cwd=str(tmp_path))
+        assert stamp["git_sha"] == "unknown" or stamp["git_sha"]
+
+    def test_config_hash_is_stable_and_order_independent(self):
+        from repro.obs import config_hash
+        assert config_hash({"a": 1, "b": 2}) == config_hash({"b": 2, "a": 1})
+        assert config_hash({"a": 1}) != config_hash({"a": 2})
+
+
+# ----------------------------------------------------------------------
+# harness
+# ----------------------------------------------------------------------
+class TestHarness:
+    def test_unknown_suite_and_bad_params_raise(self):
+        with pytest.raises(ConfigurationError, match="unknown bench suite"):
+            run_suite("nope")
+        with pytest.raises(ConfigurationError):
+            run_suite("engine", repeats=0)
+        with pytest.raises(ConfigurationError):
+            run_suite("engine", warmup=-1)
+
+    def test_engine_suite_produces_timed_results(self):
+        results = run_suite("engine", repeats=2, warmup=0)
+        assert [r.bench for r in results] == [
+            "engine.population", "engine.store_roundtrip"
+        ]
+        for result in results:
+            assert len(result.samples) == 2
+            assert all(s > 0 for s in result.samples)
+            assert result.median > 0
+        # Each repeat recomputed: the engine memo was cleared, so the
+        # population benchmark ran as many compute jobs as repeats.
+        counters = results[0].metrics["counters"]
+        assert counters["engine.jobs.run"] >= 2
+
+
+# ----------------------------------------------------------------------
+# reports (self-contained HTML)
+# ----------------------------------------------------------------------
+class TestReports:
+    def test_bench_report_is_self_contained(self):
+        records = [
+            _record(run_id="r1", samples=[0.10, 0.11], created=1.0),
+            _record(run_id="r2", samples=[0.12, 0.13], created=2.0),
+        ]
+        comparisons, _ = compare_runs(
+            samples_by_bench(records, run_id="r1"),
+            samples_by_bench(records, run_id="r2"),
+        )
+        html_text = bench_report_html(records, skipped=1,
+                                      comparisons=comparisons)
+        assert "engine.population" in html_text
+        assert "<svg" in html_text and "polyline" in html_text
+        assert "skipped 1 malformed" in html_text
+        assert "http" not in html_text
+        assert "src=" not in html_text and "href=" not in html_text
+
+    def test_empty_report_renders(self):
+        html_text = bench_report_html([])
+        assert "No benchmark records" in html_text
+        assert "http" not in html_text
+
+    def test_flame_tree_merges_same_name_siblings(self):
+        spans = [
+            {"name": "root", "span_id": "1", "parent_id": None, "dur": 1.0},
+            {"name": "job", "span_id": "2", "parent_id": "1", "dur": 0.3},
+            {"name": "job", "span_id": "3", "parent_id": "1", "dur": 0.2},
+            {"name": "orphan", "span_id": "4", "parent_id": "missing",
+             "dur": 0.1},
+        ]
+        root = build_flame_tree(spans)
+        assert set(root.children) == {"root", "orphan"}
+        job = root.children["root"].children["job"]
+        assert job.count == 2
+        assert job.total == pytest.approx(0.5)
+        # Root totals cover only top-level frames (parents already
+        # include their children).
+        assert root.total == pytest.approx(1.1)
+
+    def test_flamegraph_html_is_self_contained_and_collapsible(self):
+        spans = [
+            {"name": "outer", "span_id": "1", "parent_id": None, "dur": 2.0},
+            {"name": "inner", "span_id": "2", "parent_id": "1", "dur": 1.5},
+        ]
+        html_text = flamegraph_html(spans, skipped=2, source="t.jsonl")
+        assert "<details" in html_text and "<summary>" in html_text
+        assert "outer" in html_text and "inner" in html_text
+        assert "skipped 2 malformed" in html_text
+        assert "http" not in html_text
+        assert "<script" not in html_text
+
+    def test_flamegraph_of_empty_trace(self):
+        html_text = flamegraph_html([])
+        assert "No spans" in html_text
+
+
+# ----------------------------------------------------------------------
+# CLI surface
+# ----------------------------------------------------------------------
+class TestBenchCli:
+    def test_run_compare_report_flamegraph_round_trip(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        for _ in range(2):
+            assert main([
+                "bench", "run", "--suite", "engine",
+                "--repeats", "2", "--warmup-runs", "0", "--allow-dirty",
+            ]) == 0
+        history = tmp_path / "BENCH_history.json"
+        assert history.is_file()
+        records, skipped = load_history(history)
+        assert skipped == 0
+        assert len(records) == 4  # 2 runs x 2 benchmarks
+        assert len(run_ids(records)) == 2
+        assert all(r["provenance"]["python"] for r in records)
+        assert (tmp_path / "BENCH_engine.json").is_file()
+
+        assert main(["bench", "compare", "--tolerance", "0.9"]) == 0
+        out = capsys.readouterr().out
+        assert "bench compare" in out
+        assert "overall:" in out
+
+        assert main(["bench", "report", "report.html"]) == 0
+        html_text = (tmp_path / "report.html").read_text(encoding="utf-8")
+        assert "http" not in html_text
+        assert "engine.population" in html_text
+
+        # bench run traced by default -> flamegraph needs no arguments
+        # beyond the output path.
+        assert (tmp_path / "BENCH_trace.jsonl").is_file()
+        assert main(["trace", "flamegraph", "flame.html"]) == 0
+        flame = (tmp_path / "flame.html").read_text(encoding="utf-8")
+        assert "http" not in flame
+        assert "engine.population" in flame
+
+    def test_dirty_tree_is_refused_without_allow_dirty(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        monkeypatch.setattr(
+            "repro.obs.working_tree_dirty", lambda cwd=None: True
+        )
+        assert main(["bench", "run", "--suite", "engine"]) == 2
+        err = capsys.readouterr().err
+        assert "uncommitted changes" in err
+        assert not (tmp_path / "BENCH_history.json").exists()
+
+    def test_compare_detects_synthetic_regression(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        history = tmp_path / "BENCH_history.json"
+        fast = _samples(20, 0.10, 0.002)
+        slow = _samples(21, 0.20, 0.002)
+        save_history(history, [
+            _record(run_id="r-base", samples=fast, created=1.0),
+            _record(run_id="r-new", samples=slow, created=2.0),
+        ])
+        assert main(["bench", "compare"]) == 1  # regression -> exit 1
+        assert "regressed" in capsys.readouterr().out
+        assert main(["bench", "compare", "--warn-only"]) == 0
+
+    def test_compare_against_baseline_file(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        baseline_file = tmp_path / "baseline.json"
+        save_history(
+            baseline_file, [_record(run_id="r-base", samples=[0.1] * 5)]
+        )
+        save_history(
+            tmp_path / "BENCH_history.json",
+            [_record(run_id="r-new", samples=[0.1] * 5)],
+        )
+        assert main([
+            "bench", "compare", "--baseline", str(baseline_file)
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "neutral" in out
+
+    def test_compare_without_records_errors(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["bench", "compare"]) == 2
+
+    def test_flamegraph_explicit_trace_input(self, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        trace.write_text(
+            json.dumps({"name": "s", "span_id": "1", "parent_id": None,
+                        "dur": 0.5, "pid": 1}) + "\n" + "{garbled\n",
+            encoding="utf-8",
+        )
+        out = tmp_path / "flame.html"
+        assert main([
+            "trace", "flamegraph", str(trace), "--out", str(out)
+        ]) == 0
+        console = capsys.readouterr().out
+        assert "skipped 1 malformed" in console
+        assert "http" not in out.read_text(encoding="utf-8")
+
+    def test_flamegraph_without_any_trace_errors(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        monkeypatch.delenv("REPRO_TRACE_FILE", raising=False)
+        assert main(["trace", "flamegraph", "flame.html"]) == 2
+        assert "no trace input" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# engine provenance hooks
+# ----------------------------------------------------------------------
+class TestEngineProvenance:
+    def test_engine_provenance_is_cached(self):
+        from repro.engine.core import Engine, EngineConfig
+        engine = Engine(EngineConfig(workers=2, persistent=False))
+        stamp = engine.provenance()
+        assert stamp["workers"] == 2
+        assert engine.provenance() is stamp
+
+    def test_traced_dispatch_carries_provenance(self, tmp_path, monkeypatch):
+        from repro.engine import configure_engine
+        from repro.experiments import ExperimentSettings
+        from repro.obs import configure_tracing, load_spans
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        trace = tmp_path / "t.jsonl"
+        configure_tracing(trace)
+        engine = configure_engine(workers=1, cache_dir=tmp_path / "cache")
+        engine.population(ExperimentSettings(
+            seed=5, chips=16, trace_length=800, warmup=100,
+            benchmarks=("gzip",),
+        ))
+        disable_tracing()
+        dispatches = [
+            r for r in load_spans(trace) if r["name"] == "engine.dispatch"
+        ]
+        assert dispatches
+        attrs = dispatches[0]["attrs"]
+        assert "sha" in attrs and "config" in attrs
+        assert attrs["sha"] == engine.provenance()["git_sha"]
