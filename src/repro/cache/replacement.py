@@ -16,9 +16,21 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.core.errors import SimulationError
+from repro.core.errors import ConfigurationError, SimulationError
 
 __all__ = ["ReplacementPolicy", "LRUPolicy", "FIFOPolicy", "RandomPolicy"]
+
+#: Raised when a victim is requested from a set with no usable ways.
+#: H-YAPD band disables on a cache with fewer ways than bands can mask
+#: *every* way of an address group; that is a configuration problem (and
+#: SetAssociativeCache rejects it at construction), so policies report it
+#: as one instead of dying with an IndexError deep in a simulation.
+_NO_CANDIDATES = (
+    "no eligible ways to choose a victim from — the way configuration "
+    "leaves this set with zero usable ways (an H-YAPD band disable can "
+    "mask every way of an address group when the cache has fewer ways "
+    "than bands)"
+)
 
 
 class ReplacementPolicy(abc.ABC):
@@ -46,7 +58,7 @@ class LRUPolicy(ReplacementPolicy):
 
     def victim(self, candidates: Sequence[int]) -> int:
         if not candidates:
-            raise SimulationError("no eligible ways to choose a victim from")
+            raise ConfigurationError(_NO_CANDIDATES)
         # Least recently used eligible way; ways never touched are oldest.
         untouched = [w for w in candidates if w not in self._order]
         if untouched:
@@ -71,7 +83,7 @@ class FIFOPolicy(ReplacementPolicy):
 
     def victim(self, candidates: Sequence[int]) -> int:
         if not candidates:
-            raise SimulationError("no eligible ways to choose a victim from")
+            raise ConfigurationError(_NO_CANDIDATES)
         unfilled = [w for w in candidates if w not in self._fill_order]
         if unfilled:
             return unfilled[0]
@@ -93,5 +105,5 @@ class RandomPolicy(ReplacementPolicy):
 
     def victim(self, candidates: Sequence[int]) -> int:
         if not candidates:
-            raise SimulationError("no eligible ways to choose a victim from")
+            raise ConfigurationError(_NO_CANDIDATES)
         return int(candidates[int(self._rng.integers(0, len(candidates)))])

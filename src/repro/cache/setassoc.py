@@ -20,7 +20,7 @@ pipeline models stores as non-blocking through a store buffer).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.cache.geometry import CacheGeometry
@@ -114,10 +114,14 @@ class AccessResult:
     evicted_dirty: bool = False
 
 
-@dataclass
 class _Line:
-    tag: int
-    dirty: bool = False
+    """One resident block (slotted: millions are churned per run)."""
+
+    __slots__ = ("tag", "dirty")
+
+    def __init__(self, tag: int, dirty: bool = False) -> None:
+        self.tag = tag
+        self.dirty = dirty
 
 
 class SetAssociativeCache:
@@ -156,6 +160,7 @@ class SetAssociativeCache:
             )
         self.name = name
         self._policy_factory = policy_factory
+        self._eligible: List[Tuple[int, ...]] = []
         self._lines: List[Dict[int, Optional[_Line]]] = [
             {w: None for w in range(geometry.associativity)}
             for _ in range(geometry.num_sets)
@@ -163,6 +168,31 @@ class SetAssociativeCache:
         self._policies: List[ReplacementPolicy] = [
             policy_factory() for _ in range(geometry.num_sets)
         ]
+        # The way configuration is frozen, so each set's eligible-way
+        # list can be computed once here instead of per access. An
+        # H-YAPD band disable on a cache with fewer ways than bands can
+        # leave an address group with *zero* usable ways — reject that
+        # here with a clear error instead of letting a replacement
+        # policy fail mid-simulation.
+        group_eligible: Dict[int, Tuple[int, ...]] = {}
+        for set_index in range(geometry.num_sets):
+            group = geometry.address_group(set_index, self.config.num_bands)
+            if group not in group_eligible:
+                eligible = tuple(
+                    w
+                    for w in range(geometry.associativity)
+                    if self.config.way_enabled_for_group(w, group)
+                )
+                if not eligible:
+                    raise ConfigurationError(
+                        f"{name}: H-YAPD band disable leaves address group "
+                        f"{group} with zero usable ways "
+                        f"({geometry.associativity} ways, "
+                        f"{self.config.num_bands} bands, band "
+                        f"{self.config.disabled_band} disabled)"
+                    )
+                group_eligible[group] = eligible
+            self._eligible.append(group_eligible[group])
         # statistics
         self.hits = 0
         self.misses = 0
@@ -175,23 +205,18 @@ class SetAssociativeCache:
 
     def eligible_ways(self, set_index: int) -> List[int]:
         """Ways usable for this set under the current configuration."""
-        group = self._group(set_index)
-        return [
-            w
-            for w in range(self.geometry.associativity)
-            if self.config.way_enabled_for_group(w, group)
-        ]
+        return list(self._eligible[set_index])
 
     def effective_associativity(self, set_index: int) -> int:
         """Number of usable ways for this set."""
-        return len(self.eligible_ways(set_index))
+        return len(self._eligible[set_index])
 
     # ------------------------------------------------------------------
     def lookup(self, address: int) -> AccessResult:
         """Probe without modifying any state (no LRU update)."""
         set_index = self.geometry.set_index(address)
         tag = self.geometry.tag(address)
-        for way in self.eligible_ways(set_index):
+        for way in self._eligible[set_index]:
             line = self._lines[set_index][way]
             if line is not None and line.tag == tag:
                 return AccessResult(
@@ -237,7 +262,7 @@ class SetAssociativeCache:
             return probe
         set_index = probe.set_index
         tag = self.geometry.tag(address)
-        eligible = self.eligible_ways(set_index)
+        eligible = self._eligible[set_index]
         empty = [w for w in eligible if self._lines[set_index][w] is None]
         evicted_block: Optional[int] = None
         evicted_dirty = False
@@ -266,6 +291,78 @@ class SetAssociativeCache:
             evicted_block=evicted_block,
             evicted_dirty=evicted_dirty,
         )
+
+    # ------------------------------------------------------------------
+    def run_compiled(self, trace) -> Tuple[int, int, int]:
+        """Replay a compiled trace's memory ops through this cache.
+
+        Semantically identical to the per-access reference loop::
+
+            for instr in trace.instructions():
+                if instr.address is None:
+                    continue
+                write = instr.op is OpClass.STORE
+                result = cache.access(instr.address, write=write)
+                if not result.hit:
+                    cache.fill(instr.address, dirty=write)
+
+        but batched: the (set index, tag, write) columns come pre-split
+        from :meth:`CompiledTrace.memory_ops`, attribute lookups are
+        hoisted into locals, the common hit path is short-circuited, and
+        no per-access :class:`AccessResult` objects are allocated —
+        ``fill``'s re-probe is skipped because nothing can intervene
+        between the missed lookup and the refill here. Statistics
+        (hits/misses/evictions/way_hits) accumulate exactly as in the
+        reference; the deltas are returned as ``(hits, misses,
+        evictions)``.
+
+        ``trace`` is any object with a
+        ``memory_ops(geometry) -> (sets, tags, writes, count)`` method —
+        in practice :class:`repro.workloads.compiled.CompiledTrace`.
+        """
+        set_indices, tags, writes, count = trace.memory_ops(self.geometry)
+        lines = self._lines
+        policies = self._policies
+        eligible = self._eligible
+        way_hits = self.way_hits
+        make_line = _Line
+        set_bits = self.geometry.num_sets.bit_length() - 1
+        hits = 0
+        misses = 0
+        evictions = 0
+        for i in range(count):
+            set_index = set_indices[i]
+            tag = tags[i]
+            set_lines = lines[set_index]
+            elig = eligible[set_index]
+            hit_way = -1
+            for way in elig:
+                line = set_lines[way]
+                if line is not None and line.tag == tag:
+                    hit_way = way
+                    break
+            if hit_way >= 0:
+                hits += 1
+                way_hits[hit_way] += 1
+                policies[set_index].touch(hit_way)
+                if writes[i]:
+                    set_lines[hit_way].dirty = True
+                continue
+            misses += 1
+            empty = [w for w in elig if set_lines[w] is None]
+            if empty:
+                # Same cold-fill spread as fill(): hash by block address,
+                # which is exactly (tag << set_bits) | set_index.
+                way = empty[((tag << set_bits) | set_index) % len(empty)]
+            else:
+                way = policies[set_index].victim(elig)
+                evictions += 1
+            set_lines[way] = make_line(tag, bool(writes[i]))
+            policies[set_index].touch(way)
+        self.hits += hits
+        self.misses += misses
+        self.evictions += evictions
+        return hits, misses, evictions
 
     # ------------------------------------------------------------------
     @property

@@ -296,22 +296,42 @@ def _emit(result, out: Optional[pathlib.Path], single: bool = False) -> None:
 
 
 def _cache_command(action: str) -> int:
+    from repro.workloads.compiled import clear_trace_cache, trace_cache_info
+
     store = get_engine().store
+    if action == "clear":
+        dropped = clear_trace_cache()
+        if store is None:
+            print("persistent cache disabled (REPRO_CACHE=0)")
+        else:
+            removed = store.clear()
+            print(f"removed {removed} cache entries from {store.root}")
+        print(f"dropped {dropped} compiled traces from the in-process cache")
+        return 0
     if store is None:
         print("persistent cache disabled (REPRO_CACHE=0)")
-        return 0
-    if action == "clear":
-        removed = store.clear()
-        print(f"removed {removed} cache entries from {store.root}")
-        return 0
-    info = store.info()
-    print(f"cache directory  {info['root']}")
-    print(f"entries          {info['entries']}")
-    print(f"size             {info['bytes'] / 1e6:.2f} MB")
-    cap = info["max_bytes"]
-    print(f"size cap         {'none' if cap is None else f'{cap / 1e6:.0f} MB'}")
-    for kind, count in sorted(info["per_kind"].items()):
-        print(f"  {kind:<14} {count}")
+    else:
+        info = store.info()
+        print(f"cache directory  {info['root']}")
+        print(f"entries          {info['entries']}")
+        print(f"size             {info['bytes'] / 1e6:.2f} MB")
+        cap = info["max_bytes"]
+        print(
+            f"size cap         "
+            f"{'none' if cap is None else f'{cap / 1e6:.0f} MB'}"
+        )
+        for kind, count in sorted(info["per_kind"].items()):
+            print(f"  {kind:<14} {count}")
+    # The compiled-trace cache is per process (workers each hold their
+    # own); this row reports this process's view.
+    ctrace = trace_cache_info()
+    print(
+        f"compiled traces  {ctrace['entries']} "
+        f"({ctrace['instructions']} instructions, "
+        f"{ctrace['bytes'] / 1e6:.2f} MB packed), "
+        f"hit rate {ctrace['hit_rate']:.0%} "
+        f"({ctrace['hits']} hits / {ctrace['misses']} misses)"
+    )
     return 0
 
 

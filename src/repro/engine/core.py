@@ -286,13 +286,31 @@ class Engine:
                     misses.append(index)
             sp.set(misses=len(misses))
             if misses:
+                # Ship compiled-trace cache keys, not traces: each worker
+                # resolves the key against its process-level compiled
+                # cache (repro.workloads.compiled), so a (benchmark,
+                # seed) stream is packed once per worker, not per job.
+                # The key is informational — the store identity (and so
+                # every cache key) is unchanged.
+                from repro.workloads.compiled import trace_key
+
+                jobs = []
+                for i in misses:
+                    identity = identities[i]
+                    job = dict(identity)
+                    job["ctrace"] = trace_key(
+                        identity["benchmark"],
+                        identity["seed"],
+                        identity["warmup"] + identity["trace_length"],
+                    )
+                    jobs.append(job)
                 with self.stats.stage("simulation"), trace_span(
                     "engine.dispatch", kind="simulation", jobs=len(misses),
                     **self._dispatch_provenance(),
                 ):
                     computed = self._executor.run(
                         simulation_job,
-                        [identities[i] for i in misses],
+                        jobs,
                         self.stats,
                     )
                 for index, result in zip(misses, computed):

@@ -36,6 +36,15 @@ class LoadBypassBuffers:
         Extra cycles one entry can absorb (single-entry buffers: 1).
     """
 
+    __slots__ = (
+        "capacity",
+        "slack",
+        "_occupancy",
+        "total_stalls",
+        "overflows",
+        "peak",
+    )
+
     def __init__(self, capacity: int = 16, slack: int = 1) -> None:
         require_positive(capacity, "capacity")
         require_non_negative(slack, "slack")

@@ -59,6 +59,7 @@ class _Inst:
         "address",
         "pc",
         "mispredicted",
+        "fetch_cycle",
         "producers",
         "waiters",
         "remaining",
@@ -70,14 +71,24 @@ class _Inst:
         "replays",
     )
 
-    def __init__(self, seq: int, instr: TraceInstruction) -> None:
+    def __init__(
+        self,
+        seq: int,
+        op: OpClass,
+        dest: Optional[int],
+        srcs: tuple,
+        address: Optional[int],
+        pc: int,
+        mispredicted: bool,
+    ) -> None:
         self.seq = seq
-        self.op = instr.op
-        self.dest = instr.dest
-        self.srcs = instr.srcs
-        self.address = instr.address
-        self.pc = instr.pc
-        self.mispredicted = instr.mispredicted
+        self.op = op
+        self.dest = dest
+        self.srcs = srcs
+        self.address = address
+        self.pc = pc
+        self.mispredicted = mispredicted
+        self.fetch_cycle = 0
         self.producers: List["_Inst"] = []
         self.waiters: List["_Inst"] = []
         self.remaining = 0
@@ -87,6 +98,11 @@ class _Inst:
         self.wake_time = -1
         self.completed = False
         self.replays = 0
+
+
+#: Op-code -> OpClass decode table for packed traces; the order is the
+#: enum definition order, matching ``repro.workloads.compiled.OP_CODES``.
+_OP_TABLE = tuple(OpClass)
 
 
 class PipelineEngine:
@@ -99,7 +115,11 @@ class PipelineEngine:
     hierarchy:
         The memory hierarchy (carries the yield-aware L1D configuration).
     trace:
-        Iterable of :class:`TraceInstruction` (consumed lazily).
+        Iterable of :class:`TraceInstruction` (consumed lazily), or a
+        :class:`repro.workloads.compiled.CompiledTrace` — the packed
+        fast path reads instruction fields straight out of the compiled
+        buffers, skipping per-instruction object construction and
+        re-validation (the trace was validated when compiled).
     """
 
     def __init__(
@@ -111,7 +131,17 @@ class PipelineEngine:
     ) -> None:
         self.config = config
         self.hierarchy = hierarchy
-        self._trace: Iterator[TraceInstruction] = iter(trace)
+        # Detected by attribute, not isinstance: importing the compiled
+        # module here would be circular (workloads.generator imports
+        # repro.uarch.isa while repro.uarch's own __init__ runs).
+        if getattr(trace, "is_compiled_trace", False):
+            self._compiled = trace
+            self._compiled_pos = 0
+            self._trace: Optional[Iterator[TraceInstruction]] = None
+        else:
+            self._compiled = None
+            self._compiled_pos = 0
+            self._trace = iter(trace)
         self.lbb = LoadBypassBuffers(slack=config.lbb_slack)
         self.warmup_instructions = warmup_instructions
         self.warmup_cycle = 0
@@ -125,13 +155,19 @@ class PipelineEngine:
         self._last_fetch_block: Optional[int] = None
 
         self._frontend: Deque[_Inst] = deque()  # fetched, awaiting dispatch
-        self._frontend_entry: Dict[int, int] = {}  # seq -> fetch cycle
         self._rob: Deque[_Inst] = deque()
         self._iq_used = 0
         self._last_writer: List[Optional[_Inst]] = [None] * NUM_REGISTERS
 
         self._ready: List = []  # heap of (time, seq, inst)
         self._events: List = []  # heap of (time, kind, seq, inst)
+        #: Latest revised wake-up of any miss-discovered load. While
+        #: ``cycle >= _revision_horizon`` — every instruction window with
+        #: no pending slow load — the issue stage can skip the
+        #: producer-revision re-check entirely: an unrevised producer's
+        #: wake time is always folded into the consumer's ready time
+        #: before it enters the ready heap.
+        self._revision_horizon = 0
         self._fu_reserved: Dict[int, Dict[str, int]] = {}
         self._commit_count = 0
         self._last_commit_cycle = 0
@@ -194,6 +230,8 @@ class PipelineEngine:
         """
         new_wake = max(load.done - self.config.sched_to_exec_stages, self.cycle + 1)
         load.wake_time = new_wake
+        if new_wake > self._revision_horizon:
+            self._revision_horizon = new_wake
 
     # ------------------------------------------------------------------
     # pipeline stages (called in reverse order each cycle)
@@ -245,32 +283,44 @@ class PipelineEngine:
         # Load-bypass-buffer occupancy blocks the functional-unit input it
         # sits in front of, so reservations made by earlier stalls count
         # against this cycle's pool.
-        fu_used: Dict[str, int] = self._fu_reserved.pop(self.cycle, {})
+        cycle = self.cycle
+        config = self.config
+        ready = self._ready
+        fu_kind = FU_KIND
+        fu_pools = config.fu_pools
+        issue_width = config.issue_width
+        sched_stages = config.sched_to_exec_stages
+        heappop = heapq.heappop
+        # No pending slow load means no producer wake-up can have been
+        # revised past this cycle — skip the re-check per pop.
+        check_revised = self._revision_horizon > cycle
+        fu_used: Dict[str, int] = self._fu_reserved.pop(cycle, {})
         issued = 0
         deferred: List[_Inst] = []
-        while self._ready and issued < self.config.issue_width:
-            time, _, inst = self._ready[0]
-            if time > self.cycle:
+        while ready and issued < issue_width:
+            time, _, inst = ready[0]
+            if time > cycle:
                 break
-            heapq.heappop(self._ready)
+            heappop(ready)
             if inst.issued or time < inst.ready_time:
                 continue  # stale heap entry
             # A producer's wake-up may have been revised after this entry
             # was queued (miss discovery): the scheduler was informed, so
             # re-time the consumer without spending an issue slot.
-            revised = max(
-                (p.wake_time for p in inst.producers), default=0
-            )
-            if revised > self.cycle:
-                self._push_ready(inst, revised)
-                continue
-            kind = FU_KIND[inst.op]
-            if fu_used.get(kind, 0) >= self.config.fu_pools[kind]:
+            if check_revised:
+                revised = max(
+                    (p.wake_time for p in inst.producers), default=0
+                )
+                if revised > cycle:
+                    self._push_ready(inst, revised)
+                    continue
+            kind = fu_kind[inst.op]
+            if fu_used.get(kind, 0) >= fu_pools[kind]:
                 deferred.append(inst)
                 continue
 
             # Will the data actually be there when we reach execute?
-            exec_start = self.cycle + self.config.sched_to_exec_stages
+            exec_start = cycle + sched_stages
             data_ready = 0
             for producer in inst.producers:
                 if not producer.issued:
@@ -285,34 +335,31 @@ class PipelineEngine:
             self.issued += 1
 
             if shortfall > 0:
-                if shortfall > self.config.lbb_slack or not self.lbb.try_hold(
+                if shortfall > config.lbb_slack or not self.lbb.try_hold(
                     exec_start, shortfall
                 ):
                     # Speculatively issued under a miss (or no buffer
                     # space): squash and replay when the data arrives.
                     self.replay_count += 1
                     inst.replays += 1
-                    retry = max(
-                        data_ready - self.config.sched_to_exec_stages,
-                        self.cycle + 1,
-                    )
+                    retry = max(data_ready - sched_stages, cycle + 1)
                     self._push_ready(inst, retry)
                     continue
                 # Absorbed by a load-bypass buffer: the buffered operand
                 # occupies this FU's input, blocking one issue of the same
                 # kind next cycle.
                 exec_start += shortfall
-                reserved = self._fu_reserved.setdefault(self.cycle + 1, {})
+                reserved = self._fu_reserved.setdefault(cycle + 1, {})
                 reserved[kind] = reserved.get(kind, 0) + 1
 
             inst.issued = True
             self._iq_used -= 1
             # If this instruction itself slipped into a bypass buffer, the
             # scheduler knows and delays its dependents by the same slip.
-            slip = exec_start - (self.cycle + self.config.sched_to_exec_stages)
+            slip = exec_start - (cycle + sched_stages)
             if inst.op is OpClass.LOAD:
                 inst.done = self._issue_load(inst, exec_start)
-                wake = self.cycle + self.config.predicted_load_latency + slip
+                wake = cycle + config.predicted_load_latency + slip
             elif inst.op is OpClass.STORE:
                 assert inst.address is not None
                 self.hierarchy.data_access(inst.address, write=True)
@@ -322,7 +369,7 @@ class PipelineEngine:
             else:
                 latency = FU_LATENCIES[inst.op]
                 inst.done = exec_start + latency
-                wake = inst.done - self.config.sched_to_exec_stages
+                wake = inst.done - sched_stages
             heapq.heappush(self._events, (inst.done, 0, inst.seq, inst))
             self._wake_consumers(inst, wake)
             if inst.mispredicted:
@@ -333,7 +380,7 @@ class PipelineEngine:
                 if self._fetch_blocked_on is inst:
                     self._fetch_blocked_on = None
         for inst in deferred:  # structural hazard: retry next cycle
-            self._push_ready(inst, self.cycle + 1)
+            self._push_ready(inst, cycle + 1)
 
     def _do_dispatch(self) -> None:
         count = 0
@@ -344,13 +391,9 @@ class PipelineEngine:
             and self._iq_used < self.config.iq_size
         ):
             inst = self._frontend[0]
-            if (
-                self._frontend_entry[inst.seq] + self.config.frontend_stages
-                > self.cycle
-            ):
+            if inst.fetch_cycle + self.config.frontend_stages > self.cycle:
                 break
             self._frontend.popleft()
-            del self._frontend_entry[inst.seq]
             self._rob.append(inst)
             self._iq_used += 1
             count += 1
@@ -380,14 +423,45 @@ class PipelineEngine:
             return
         if len(self._frontend) >= 3 * self.config.fetch_width:
             return
+        compiled = self._compiled
         fetched = 0
         while fetched < self.config.fetch_width:
-            try:
-                raw = next(self._trace)
-            except StopIteration:
-                self._trace_exhausted = True
-                break
-            inst = _Inst(self._fetch_seq, raw)
+            if compiled is not None:
+                # Packed fast path: read fields straight from the
+                # compiled buffers (validated once, at compile time).
+                pos = self._compiled_pos
+                if pos >= compiled.length:
+                    self._trace_exhausted = True
+                    break
+                self._compiled_pos = pos + 1
+                dest = compiled.dests[pos]
+                s0 = compiled.src0[pos]
+                s1 = compiled.src1[pos]
+                address = compiled.addresses[pos]
+                inst = _Inst(
+                    self._fetch_seq,
+                    _OP_TABLE[compiled.ops[pos]],
+                    None if dest < 0 else dest,
+                    () if s0 < 0 else ((s0,) if s1 < 0 else (s0, s1)),
+                    None if address < 0 else address,
+                    compiled.pcs[pos],
+                    bool(compiled.mispredicts[pos]),
+                )
+            else:
+                try:
+                    raw = next(self._trace)
+                except StopIteration:
+                    self._trace_exhausted = True
+                    break
+                inst = _Inst(
+                    self._fetch_seq,
+                    raw.op,
+                    raw.dest,
+                    raw.srcs,
+                    raw.address,
+                    raw.pc,
+                    raw.mispredicted,
+                )
             self._fetch_seq += 1
             fetched += 1
 
@@ -403,7 +477,7 @@ class PipelineEngine:
                         self._fetch_stall_until, self.cycle + extra
                     )
             self._frontend.append(inst)
-            self._frontend_entry[inst.seq] = self.cycle
+            inst.fetch_cycle = self.cycle
             if inst.mispredicted:
                 self._fetch_blocked_on = inst
                 break
@@ -419,9 +493,8 @@ class PipelineEngine:
         if self._ready:
             candidates.append(self._ready[0][0])
         if self._frontend:
-            first = self._frontend[0]
             candidates.append(
-                self._frontend_entry[first.seq] + self.config.frontend_stages
+                self._frontend[0].fetch_cycle + self.config.frontend_stages
             )
         if (
             not self._trace_exhausted

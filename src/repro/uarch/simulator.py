@@ -109,6 +109,12 @@ class Simulator:
     ) -> SimResult:
         """Simulate ``trace`` to completion and return the result.
 
+        ``trace`` may be a plain iterable of :class:`TraceInstruction`
+        or a :class:`repro.workloads.compiled.CompiledTrace`; a compiled
+        trace replays through the pipeline's packed fast path under a
+        ``ctrace.replay`` span, so flamegraphs attribute time to compile
+        vs replay.
+
         ``warmup`` instructions are executed first to warm the caches;
         CPI and all counters cover only the instructions after them.
         """
@@ -120,9 +126,16 @@ class Simulator:
         engine = PipelineEngine(
             self.core, hierarchy, trace, warmup_instructions=warmup
         )
+        compiled = getattr(trace, "is_compiled_trace", False)
         with trace_span("simulator.run", warmup=warmup) as sp:
             start = time.perf_counter()
-            engine.run()
+            if compiled:
+                with trace_span(
+                    "ctrace.replay", instructions=trace.length
+                ):
+                    engine.run()
+            else:
+                engine.run()
             elapsed = time.perf_counter() - start
         if engine.committed <= warmup:
             raise SimulationError(

@@ -21,8 +21,8 @@ cache.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Dict, Iterator, Tuple
+from dataclasses import dataclass
+from typing import Dict, NamedTuple, Tuple
 
 from repro.core import units
 from repro.core.errors import ConfigurationError
@@ -79,9 +79,14 @@ class ParameterSpec:
         return self.nominal * self.three_sigma_fraction / 3.0
 
 
-@dataclass(frozen=True)
-class ProcessParameters:
+class ProcessParameters(NamedTuple):
     """A concrete value for each of the five varied process parameters.
+
+    A ``NamedTuple`` (not a frozen dataclass) because the samplers build
+    tens of these per chip across whole Monte Carlo populations —
+    tuple construction is several times cheaper than a frozen
+    dataclass's ``object.__setattr__`` per field, and iteration order
+    is the field order, which is :data:`PARAMETER_NAMES`.
 
     Attributes
     ----------
@@ -108,12 +113,9 @@ class ProcessParameters:
         """Return the parameters as a name -> value mapping."""
         return {name: getattr(self, name) for name in PARAMETER_NAMES}
 
-    def __iter__(self) -> Iterator[float]:
-        return (getattr(self, name) for name in PARAMETER_NAMES)
-
     def replace(self, **changes: float) -> "ProcessParameters":
         """Return a copy with the given fields replaced."""
-        return replace(self, **changes)
+        return self._replace(**changes)
 
     def deviation_from(self, other: "ProcessParameters") -> Dict[str, float]:
         """Fractional deviation of each parameter relative to ``other``."""

@@ -194,6 +194,50 @@ class CacheVariationSampler:
         self.clip_sigma = clip_sigma
         self._sigmas = table.sigmas()
         self._nominal = table.nominal()
+        # Vectorised draw plumbing: one rng.normal call per segment batch
+        # consumes the generator stream element-by-element in exactly the
+        # order the per-parameter scalar draws did, so the sampled values
+        # are bit-identical to the original loop (asserted by the
+        # sampler equivalence test). Clip bounds depend only on the table.
+        nominal_arr = np.array(list(self._nominal))
+        sigma_arr = np.array([self._sigmas[n] for n in PARAMETER_NAMES])
+        self._nominal_arr = nominal_arr
+        self._sigma_arr = sigma_arr
+        self._clip_low = np.maximum(
+            nominal_arr - clip_sigma * sigma_arr,
+            nominal_arr * self._FLOOR_FRACTION,
+        )
+        self._clip_high = nominal_arr + clip_sigma * sigma_arr
+        # Fused-draw plumbing: ``Generator.normal(loc, scale)`` computes
+        # ``loc + scale * standard_normal()`` element by element, so a
+        # group of consecutive draws can be taken as one
+        # ``standard_normal`` batch and combined with pre-tiled scale
+        # vectors — same stream consumption, same arithmetic, same bits
+        # (asserted against :meth:`sample_reference` by the equivalence
+        # test). Tiling commutes with the elementwise scale multiply.
+        num_peri = len(PERIPHERAL_SEGMENTS)
+        rest_segments = num_peri + self.num_bands
+        self._die_scale = sigma_arr * self.factors.inter_die
+        self._band_scale = np.tile(sigma_arr, self.num_bands) * self.factors.band
+        self._rest_scale = np.tile(sigma_arr, rest_segments) * self.factors.row
+        self._rest_low = np.tile(self._clip_low, rest_segments)
+        self._rest_high = np.tile(self._clip_high, rest_segments)
+        self._zero_offsets = np.zeros(self.num_bands * len(PARAMETER_NAMES))
+        self._way_scales = tuple(
+            sigma_arr * self.factors.way_factor(way, self.mesh)
+            for way in range(self.num_ways)
+        )
+        self._way_factors = tuple(
+            self.factors.way_factor(way, self.mesh)
+            for way in range(self.num_ways)
+        )
+        sigma = path_residual_sigma
+        self._residual_mean = -0.5 * sigma * sigma
+        # The scalar reference skips the draw for an individual
+        # zero-sigma parameter; the fused batch can only skip whole
+        # zero-factor groups, so fall back to the reference for tables
+        # with degenerate sigmas.
+        self._vectorised = bool(np.all(sigma_arr > 0.0))
 
     # ------------------------------------------------------------------
     # drawing helpers
@@ -243,14 +287,18 @@ class CacheVariationSampler:
         if self.path_residual_sigma <= 0 and self.outlier_band_prob <= 0:
             return ()
         sigma = self.path_residual_sigma
+        prob = self.outlier_band_prob
+        mean = self._residual_mean
+        lognormal = rng.lognormal
+        uniform = rng.uniform
         residuals = []
         for _ in range(self.num_bands):
             value = 1.0
             if sigma > 0:
-                value = float(rng.lognormal(-0.5 * sigma * sigma, sigma))
-            if self.outlier_band_prob > 0 and rng.uniform() < self.outlier_band_prob:
+                value = float(lognormal(mean, sigma))
+            if prob > 0 and uniform() < prob:
                 low, high = self.outlier_scale_range
-                value *= float(rng.uniform(low, high))
+                value *= float(uniform(low, high))
             residuals.append(value)
         return tuple(residuals)
 
@@ -258,7 +306,109 @@ class CacheVariationSampler:
     # public API
     # ------------------------------------------------------------------
     def sample(self, rng: np.random.Generator, chip_id: int = 0) -> CacheVariationMap:
-        """Draw one cache's full variation map using ``rng``."""
+        """Draw one cache's full variation map using ``rng``.
+
+        The draws are fused (one ``standard_normal`` batch per dependency
+        group: die+offsets, then one per way) but consume the stream in
+        exactly the order the original per-parameter scalar draws did, so
+        populations are bit-identical across both implementations — see
+        :meth:`sample_reference` and the equivalence test. Parameter
+        values become plain Python floats: same bits, much faster
+        downstream circuit arithmetic than NumPy scalars.
+        """
+        if not self._vectorised:
+            return self.sample_reference(rng, chip_id)
+        n = len(PARAMETER_NAMES)
+        num_bands = self.num_bands
+        num_peri = len(PERIPHERAL_SEGMENTS)
+        factors = self.factors
+        low = self._clip_low
+        high = self._clip_high
+
+        # Head batch: die vector, then the shared per-band offsets
+        # (zero-mean, unclipped — they shift the means the band segments
+        # are drawn around).
+        inter = factors.inter_die
+        band_factor = factors.band
+        head = (n if inter != 0.0 else 0) + (
+            num_bands * n if band_factor != 0.0 else 0
+        )
+        z = rng.standard_normal(head) if head else None
+        pos = 0
+        if inter != 0.0:
+            die_values = self._nominal_arr + self._die_scale * z[:n]
+            pos = n
+        else:
+            die_values = self._nominal_arr
+        die_values = np.minimum(np.maximum(die_values, low), high)
+        die = ProcessParameters(*die_values.tolist())
+        if band_factor != 0.0:
+            band_offsets = 0.0 + self._band_scale * z[pos:]
+        else:
+            band_offsets = self._zero_offsets
+
+        # Per-way batch: way vector, the four peripheral segments, then
+        # the band segments — all centred on values already drawn.
+        row_factor = factors.row
+        rest_n = (num_peri + num_bands) * n
+        rest_scale = self._rest_scale
+        rest_low = self._rest_low
+        rest_high = self._rest_high
+        way_scales = self._way_scales
+        ways = []
+        for way in range(self.num_ways):
+            way_factor = self._way_factors[way]
+            count = (n if way_factor != 0.0 else 0) + (
+                rest_n if row_factor != 0.0 else 0
+            )
+            z = rng.standard_normal(count) if count else None
+            if way_factor != 0.0:
+                way_values = die_values + way_scales[way] * z[:n]
+                offset = n
+            else:
+                way_values = die_values
+                offset = 0
+            way_values = np.minimum(np.maximum(way_values, low), high)
+            way_params = ProcessParameters(*way_values.tolist())
+
+            centres = np.empty(rest_n)
+            centres.reshape(num_peri + num_bands, n)[:] = way_values
+            centres[num_peri * n :] += band_offsets
+            if row_factor != 0.0:
+                rest = centres + rest_scale * z[offset:]
+            else:
+                rest = centres
+            rest = np.minimum(np.maximum(rest, rest_low), rest_high).tolist()
+            peripherals = {
+                name: ProcessParameters(*rest[i * n : (i + 1) * n])
+                for i, name in enumerate(PERIPHERAL_SEGMENTS)
+            }
+            base = num_peri * n
+            bands = tuple(
+                ProcessParameters(*rest[base + b * n : base + (b + 1) * n])
+                for b in range(num_bands)
+            )
+            residuals = self._draw_residuals(rng)
+            ways.append(
+                WayVariation(
+                    way=way,
+                    params=way_params,
+                    bands=bands,
+                    band_residuals=residuals,
+                    **peripherals,
+                )
+            )
+        return CacheVariationMap(chip_id=chip_id, die=die, ways=tuple(ways))
+
+    def sample_reference(
+        self, rng: np.random.Generator, chip_id: int = 0
+    ) -> CacheVariationMap:
+        """Scalar reference implementation of :meth:`sample`.
+
+        Kept as the differential-testing oracle: draws every parameter
+        with an individual generator call, exactly as the original
+        sampler did. :meth:`sample` must match it bit for bit.
+        """
         die = self._draw_around(self._nominal, self.factors.inter_die, rng)
         band_offsets = [
             self._draw_offsets(self.factors.band, rng) for _ in range(self.num_bands)

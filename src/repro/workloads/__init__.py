@@ -24,6 +24,14 @@ from repro.workloads.profiles import (
     get_profile,
 )
 from repro.workloads.generator import TraceGenerator
+from repro.workloads.compiled import (
+    CompiledTrace,
+    clear_trace_cache,
+    compile_trace,
+    get_compiled_trace,
+    trace_cache_info,
+    trace_key,
+)
 
 __all__ = [
     "BenchmarkProfile",
@@ -32,4 +40,10 @@ __all__ = [
     "SPEC2000_ALL",
     "get_profile",
     "TraceGenerator",
+    "CompiledTrace",
+    "compile_trace",
+    "get_compiled_trace",
+    "trace_key",
+    "trace_cache_info",
+    "clear_trace_cache",
 ]

@@ -1,0 +1,405 @@
+"""Compiled workload traces: pack once, replay everywhere.
+
+Every experiment sweeps many (chip, scheme) configurations over the
+*same* per-(benchmark, seed) instruction stream, but the seed tree
+regenerated that stream — and re-ran ``TraceInstruction`` validation —
+once per simulation. This module lowers a generated trace into packed
+stdlib :mod:`array` buffers exactly once and replays those buffers
+through the fast paths:
+
+* :class:`CompiledTrace` — column-packed instruction fields (op code,
+  dest/src registers, data address, pc, mispredict flag) plus per-cache-
+  geometry pre-split ``(set index, tag, write)`` columns for the memory
+  ops, memoized per geometry. Prefix views share the parent's buffers,
+  which is what makes one long compiled trace serve every shorter
+  request for the same ``(profile, seed)`` — the generator's draws are
+  consumed one instruction at a time, so ``generate(n)`` is a strict
+  prefix of ``generate(m)`` for ``n <= m``.
+* :func:`get_compiled_trace` — the process-level cache keyed by
+  ``(profile name, seed)``. Workers resolve the compiled-trace *key*
+  shipped by the engine dispatch against this cache instead of
+  regenerating the trace per job. Stats feed ``repro cache info``.
+* :func:`trace_key` — the cheap identity key the engine puts in job
+  dicts; :attr:`CompiledTrace.key` is the stronger content address
+  (SHA-256 over the packed buffers) used for verification.
+
+Compilation is wrapped in a ``ctrace.compile`` span and replay (in
+:class:`repro.uarch.simulator.Simulator`) in ``ctrace.replay``, so
+``repro trace flamegraph`` attributes time to compile vs replay.
+
+The per-access APIs (``TraceGenerator.generate`` +
+``SetAssociativeCache.access``/``fill``) stay untouched as the
+differential-testing reference; anything that installs custom per-access
+hooks simply keeps using them and bypasses the compiled path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from array import array
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.core.validation import require_positive
+from repro.obs.trace import span as trace_span
+from repro.uarch.isa import OpClass
+from repro.uarch.trace import TraceInstruction
+from repro.workloads.profiles import BenchmarkProfile
+
+__all__ = [
+    "CompiledTrace",
+    "compile_trace",
+    "get_compiled_trace",
+    "trace_key",
+    "trace_cache_info",
+    "clear_trace_cache",
+]
+
+#: Stable op encoding; the enum's definition order is part of the format.
+OP_CODES: Dict[OpClass, int] = {op: code for code, op in enumerate(OpClass)}
+OP_TABLE: Tuple[OpClass, ...] = tuple(OpClass)
+
+_STORE_CODE = OP_CODES[OpClass.STORE]
+
+#: ``-1`` marks "no register" / "no address" in the packed columns.
+_NONE = -1
+
+
+class CompiledTrace:
+    """A workload trace lowered to packed, column-major buffers.
+
+    Instances are immutable in practice: the arrays are filled once at
+    compile time and only read afterwards. :meth:`prefix` returns a view
+    sharing the same buffers with a shorter ``length``; geometry splits
+    are memoized on the root's dict, so every prefix of one compilation
+    shares one split per cache geometry.
+    """
+
+    #: Duck-typing sentinel — the pipeline cannot import this module
+    #: (workloads.generator imports uarch.isa, so uarch -> workloads
+    #: would be circular) and checks this attribute instead.
+    is_compiled_trace = True
+
+    __slots__ = (
+        "profile_name",
+        "seed",
+        "length",
+        "ops",
+        "dests",
+        "src0",
+        "src1",
+        "addresses",
+        "pcs",
+        "mispredicts",
+        "_root",
+        "_splits",
+        "_mem_count",
+        "_digest",
+    )
+
+    def __init__(
+        self,
+        profile_name: str,
+        seed: int,
+        ops: array,
+        dests: array,
+        src0: array,
+        src1: array,
+        addresses: array,
+        pcs: array,
+        mispredicts: array,
+        length: Optional[int] = None,
+        _root: Optional["CompiledTrace"] = None,
+    ) -> None:
+        self.profile_name = profile_name
+        self.seed = seed
+        self.ops = ops
+        self.dests = dests
+        self.src0 = src0
+        self.src1 = src1
+        self.addresses = addresses
+        self.pcs = pcs
+        self.mispredicts = mispredicts
+        self.length = len(ops) if length is None else length
+        self._root = _root
+        self._splits: Dict[Tuple[int, int, int], Tuple[array, array, array]] = (
+            {} if _root is None else _root._splits
+        )
+        self._mem_count: Optional[int] = None
+        self._digest: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_instructions(
+        cls,
+        instructions: Iterable[TraceInstruction],
+        profile_name: str = "custom",
+        seed: int = 0,
+    ) -> "CompiledTrace":
+        """Pack an instruction stream (consumes the iterable)."""
+        ops = array("b")
+        dests = array("b")
+        src0 = array("b")
+        src1 = array("b")
+        addresses = array("q")
+        pcs = array("q")
+        mispredicts = array("b")
+        op_codes = OP_CODES
+        for instr in instructions:
+            ops.append(op_codes[instr.op])
+            dests.append(_NONE if instr.dest is None else instr.dest)
+            srcs = instr.srcs
+            src0.append(srcs[0] if srcs else _NONE)
+            src1.append(srcs[1] if len(srcs) > 1 else _NONE)
+            addresses.append(
+                _NONE if instr.address is None else instr.address
+            )
+            pcs.append(instr.pc)
+            mispredicts.append(1 if instr.mispredicted else 0)
+        return cls(
+            profile_name, seed, ops, dests, src0, src1,
+            addresses, pcs, mispredicts,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def root_length(self) -> int:
+        """Length of the underlying buffers (>= :attr:`length`)."""
+        return len(self.ops)
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the packed instruction buffers."""
+        return sum(
+            arr.itemsize * len(arr)
+            for arr in (
+                self.ops, self.dests, self.src0, self.src1,
+                self.addresses, self.pcs, self.mispredicts,
+            )
+        )
+
+    def prefix(self, length: int) -> "CompiledTrace":
+        """A view of the first ``length`` instructions (shared buffers)."""
+        require_positive(length, "length")
+        if length > len(self.ops):
+            raise ValueError(
+                f"prefix of {length} instructions requested from a "
+                f"compiled trace of {len(self.ops)}"
+            )
+        if length == self.length:
+            return self
+        return CompiledTrace(
+            self.profile_name, self.seed,
+            self.ops, self.dests, self.src0, self.src1,
+            self.addresses, self.pcs, self.mispredicts,
+            length=length,
+            _root=self._root if self._root is not None else self,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def key(self) -> str:
+        """Content address: SHA-256 over the first :attr:`length` entries.
+
+        Hashing the view (not the root buffers) keeps the address
+        prefix-stable: ``compile(n).key == compile(m).prefix(n).key``,
+        which is exactly the generator's prefix property restated over
+        packed bytes.
+        """
+        if self._digest is None:
+            digest = hashlib.sha256()
+            digest.update(f"ctrace-content:{self.length}:".encode("utf-8"))
+            n = self.length
+            for arr in (
+                self.ops, self.dests, self.src0, self.src1,
+                self.addresses, self.pcs, self.mispredicts,
+            ):
+                digest.update(
+                    arr.tobytes() if n == len(arr) else arr[:n].tobytes()
+                )
+            self._digest = digest.hexdigest()
+        return self._digest
+
+    # ------------------------------------------------------------------
+    def instructions(self) -> Iterator[TraceInstruction]:
+        """Reconstruct the (validated) instruction objects.
+
+        This is the reference path: the differential tests replay a
+        compiled trace through it and assert the fast paths match.
+        """
+        op_table = OP_TABLE
+        ops = self.ops
+        dests = self.dests
+        src0 = self.src0
+        src1 = self.src1
+        addresses = self.addresses
+        pcs = self.pcs
+        mispredicts = self.mispredicts
+        for i in range(self.length):
+            s0 = src0[i]
+            s1 = src1[i]
+            dest = dests[i]
+            address = addresses[i]
+            yield TraceInstruction(
+                op=op_table[ops[i]],
+                dest=None if dest < 0 else dest,
+                srcs=() if s0 < 0 else ((s0,) if s1 < 0 else (s0, s1)),
+                address=None if address < 0 else address,
+                pc=pcs[i],
+                mispredicted=bool(mispredicts[i]),
+            )
+
+    __iter__ = instructions
+
+    def __len__(self) -> int:
+        return self.length
+
+    # ------------------------------------------------------------------
+    def memory_op_count(self) -> int:
+        """Number of loads + stores within :attr:`length`."""
+        if self._mem_count is None:
+            addresses = self.addresses
+            self._mem_count = sum(
+                1 for i in range(self.length) if addresses[i] >= 0
+            )
+        return self._mem_count
+
+    def memory_ops(self, geometry) -> Tuple[array, array, array, int]:
+        """Pre-split memory ops for ``geometry``.
+
+        Returns ``(set_indices, tags, writes, count)`` where the arrays
+        cover every memory op of the *root* buffers (memoized per
+        geometry — all prefixes share one split) and ``count`` is how
+        many of them fall within this view's :attr:`length`. A prefix's
+        memory ops are exactly the first ``count`` entries because
+        instruction order is preserved.
+        """
+        split_key = (
+            geometry.capacity_bytes,
+            geometry.associativity,
+            geometry.block_bytes,
+        )
+        split = self._splits.get(split_key)
+        if split is None:
+            set_indices = array("l")
+            tags = array("q")
+            writes = array("b")
+            offset_bits = geometry.block_bytes.bit_length() - 1
+            set_mask = geometry.num_sets - 1
+            tag_shift = geometry.num_sets.bit_length() - 1
+            ops = self.ops
+            addresses = self.addresses
+            store_code = _STORE_CODE
+            for i in range(len(ops)):
+                address = addresses[i]
+                if address < 0:
+                    continue
+                block = address >> offset_bits
+                set_indices.append(block & set_mask)
+                tags.append(block >> tag_shift)
+                writes.append(1 if ops[i] == store_code else 0)
+            split = (set_indices, tags, writes)
+            self._splits[split_key] = split
+        return split[0], split[1], split[2], self.memory_op_count()
+
+
+# ----------------------------------------------------------------------
+# compilation and the process-level cache
+# ----------------------------------------------------------------------
+def compile_trace(
+    profile: BenchmarkProfile, seed: int, length: int
+) -> CompiledTrace:
+    """Generate and pack ``length`` instructions (uncached)."""
+    from repro.workloads.generator import TraceGenerator
+
+    require_positive(length, "length")
+    with trace_span(
+        "ctrace.compile",
+        profile=profile.name,
+        seed=seed,
+        instructions=length,
+    ) as sp:
+        compiled = CompiledTrace.from_instructions(
+            TraceGenerator(profile, seed=seed).generate(length),
+            profile_name=profile.name,
+            seed=seed,
+        )
+        sp.set(bytes=compiled.nbytes)
+    return compiled
+
+
+_CACHE_LOCK = threading.Lock()
+_TRACE_CACHE: Dict[Tuple[str, int], CompiledTrace] = {}
+_CACHE_STATS = {"hits": 0, "misses": 0}
+
+
+def trace_key(profile_name: str, seed: int, length: int) -> str:
+    """Identity key of the compiled trace for ``(profile, seed, length)``.
+
+    Cheap to compute without compiling: generation is deterministic per
+    ``(profile, seed)`` and ``generate(n)`` is a prefix of
+    ``generate(m)``, so the identity fully determines the content. The
+    engine ships this key to pool workers;
+    :attr:`CompiledTrace.key` hashes the actual buffers when a content
+    check is wanted.
+    """
+    return hashlib.sha256(
+        f"ctrace:{profile_name}:{seed}:{length}".encode("utf-8")
+    ).hexdigest()
+
+
+def get_compiled_trace(
+    profile: BenchmarkProfile, seed: int, length: int
+) -> CompiledTrace:
+    """The compiled trace for ``(profile, seed)``, at least ``length`` long.
+
+    Memoized per process: a cached compilation that is long enough is
+    served as a shared-buffer prefix view; a longer request recompiles
+    (the generator's prefix property keeps the overlap bit-identical)
+    and replaces the cache entry. This is what fixes the old
+    once-per-(chip, scheme) trace regeneration — within a worker
+    process, each (benchmark, seed) stream is generated once.
+    """
+    require_positive(length, "length")
+    cache_id = (profile.name, seed)
+    with _CACHE_LOCK:
+        cached = _TRACE_CACHE.get(cache_id)
+        if cached is not None and len(cached.ops) >= length:
+            _CACHE_STATS["hits"] += 1
+            return cached.prefix(length)
+        _CACHE_STATS["misses"] += 1
+    compiled = compile_trace(profile, seed, length)
+    with _CACHE_LOCK:
+        current = _TRACE_CACHE.get(cache_id)
+        if current is None or len(current.ops) < length:
+            _TRACE_CACHE[cache_id] = compiled
+    return compiled
+
+
+def trace_cache_info() -> Dict[str, object]:
+    """Snapshot of the process-level compiled-trace cache."""
+    with _CACHE_LOCK:
+        hits = _CACHE_STATS["hits"]
+        misses = _CACHE_STATS["misses"]
+        entries = len(_TRACE_CACHE)
+        total_bytes = sum(t.nbytes for t in _TRACE_CACHE.values())
+        instructions = sum(len(t.ops) for t in _TRACE_CACHE.values())
+    lookups = hits + misses
+    return {
+        "entries": entries,
+        "bytes": total_bytes,
+        "instructions": instructions,
+        "hits": hits,
+        "misses": misses,
+        "hit_rate": hits / lookups if lookups else 0.0,
+    }
+
+
+def clear_trace_cache() -> int:
+    """Drop every cached compiled trace; returns how many were held."""
+    with _CACHE_LOCK:
+        count = len(_TRACE_CACHE)
+        _TRACE_CACHE.clear()
+        _CACHE_STATS["hits"] = 0
+        _CACHE_STATS["misses"] = 0
+    return count

@@ -288,8 +288,11 @@ class YieldStudy:
         horizontal = []
         for chip_id in range(start, stop):
             cvmap = self.sampler.sample_chip(self.seed, chip_id)
-            regular.append(regular_model.evaluate(cvmap))
-            horizontal.append(hyapd_model.evaluate(cvmap))
+            reg_result, hyapd_result = regular_model.evaluate_pair(
+                hyapd_model, cvmap
+            )
+            regular.append(reg_result)
+            horizontal.append(hyapd_result)
         return regular, horizontal
 
     def assemble(

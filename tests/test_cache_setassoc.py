@@ -12,7 +12,7 @@ from repro.cache import (
     WayConfig,
 )
 from repro.core import units
-from repro.core.errors import ConfigurationError, SimulationError
+from repro.core.errors import ConfigurationError
 
 GEOM = CacheGeometry(16 * units.KB, 4, 32)
 
@@ -185,7 +185,7 @@ class TestReplacementPolicies:
 
     def test_victim_requires_candidates(self):
         policy = LRUPolicy()
-        with pytest.raises(SimulationError):
+        with pytest.raises(ConfigurationError):
             policy.victim([])
 
 

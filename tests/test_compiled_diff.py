@@ -1,0 +1,291 @@
+"""Differential tests: compiled-trace fast paths vs the per-access reference.
+
+The compiled kernels (`CompiledTrace` + `SetAssociativeCache.run_compiled`
++ the pipeline's packed fetch path) exist purely for speed — they must be
+*bit-identical* to the per-access APIs they bypass. These tests sweep 150
+randomized (profile, geometry, way-configuration, policy) configurations
+through both paths and assert equality of every observable: cache
+hit/miss/eviction/per-way counters, resident line state, and — for the
+pipeline subset — the full :class:`SimResult` including cycle counts.
+
+The way configurations cover every scheme overlay the yield experiments
+produce: healthy, VACA (5-cycle ways), YAPD (disabled ways), H-YAPD
+(disabled horizontal band), and Hybrid (disables + slow ways combined).
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.replacement import FIFOPolicy, LRUPolicy, RandomPolicy
+from repro.cache.setassoc import SetAssociativeCache, WayConfig
+from repro.core.errors import ConfigurationError
+from repro.uarch import Simulator
+from repro.uarch.isa import OpClass
+from repro.workloads import (
+    SPEC2000_ALL,
+    compile_trace,
+    get_compiled_trace,
+    get_profile,
+    trace_cache_info,
+    trace_key,
+)
+
+_PROFILE_NAMES = tuple(p.name for p in SPEC2000_ALL)
+
+#: Small geometries keep 150 replays fast while still exercising several
+#: set counts, associativities and block sizes (the paper's L1D last).
+_GEOMETRIES = (
+    CacheGeometry(1024, 2, 32),
+    CacheGeometry(2048, 4, 32),
+    CacheGeometry(2048, 4, 64),
+    CacheGeometry(4096, 8, 32),
+    CacheGeometry(16 * 1024, 4, 32),
+)
+
+_OVERLAYS = ("healthy", "vaca", "yapd", "hyapd", "hybrid")
+
+_POLICIES = ("lru", "fifo", "random")
+
+
+def _overlay_config(rng: random.Random, ways: int, overlay: str) -> WayConfig:
+    """A scheme-shaped way configuration with ``ways`` ways."""
+    if overlay == "healthy":
+        return WayConfig.uniform(ways)
+    if overlay == "vaca":
+        latencies = tuple(rng.choice((4, 5)) for _ in range(ways))
+        return WayConfig(latencies=latencies)
+    if overlay == "hyapd":
+        return WayConfig(
+            latencies=tuple(4 for _ in range(ways)),
+            disabled_band=rng.randrange(4),
+            num_bands=4,
+        )
+    # yapd / hybrid: disable a strict subset of ways; hybrid also slows
+    # some of the surviving ways to 5 cycles.
+    disabled = rng.sample(range(ways), rng.randrange(1, ways))
+    latencies = []
+    for way in range(ways):
+        if way in disabled:
+            latencies.append(None)
+        elif overlay == "hybrid":
+            latencies.append(rng.choice((4, 5)))
+        else:
+            latencies.append(4)
+    return WayConfig(latencies=tuple(latencies))
+
+
+def _policy_factory(kind: str):
+    if kind == "lru":
+        return LRUPolicy
+    if kind == "fifo":
+        return FIFOPolicy
+    # Seeded per set-construction: both caches of a differential pair get
+    # identical per-set random streams.
+    return lambda: RandomPolicy(np.random.default_rng(97))
+
+
+def _make_cases(count: int):
+    rng = random.Random(20060805)
+    cases = []
+    for index in range(count):
+        profile = rng.choice(_PROFILE_NAMES)
+        geometry = rng.choice(_GEOMETRIES)
+        overlay = rng.choice(_OVERLAYS)
+        policy = rng.choice(_POLICIES)
+        seed = rng.randrange(1, 50)
+        config = _overlay_config(rng, geometry.associativity, overlay)
+        cases.append(
+            pytest.param(
+                profile, geometry, config, policy, seed,
+                id=f"{index:03d}-{profile}-{overlay}-{policy}",
+            )
+        )
+    return cases
+
+
+_CASES = _make_cases(150)
+
+
+def _reference_replay(cache: SetAssociativeCache, trace) -> None:
+    """The per-access reference: access(); fill() on miss."""
+    for instr in trace.instructions():
+        if instr.address is None:
+            continue
+        write = instr.op is OpClass.STORE
+        result = cache.access(instr.address, write=write)
+        if not result.hit:
+            cache.fill(instr.address, dirty=write)
+
+
+def _cache_state(cache: SetAssociativeCache):
+    lines = []
+    for set_index in range(cache.geometry.num_sets):
+        for way in range(cache.geometry.associativity):
+            line = cache._lines[set_index][way]
+            if line is not None:
+                lines.append((set_index, way, line.tag, line.dirty))
+    return (
+        cache.hits,
+        cache.misses,
+        cache.evictions,
+        tuple(cache.way_hits),
+        tuple(lines),
+    )
+
+
+@pytest.mark.parametrize("profile,geometry,config,policy,seed", _CASES)
+def test_run_compiled_matches_reference(profile, geometry, config, policy, seed):
+    trace = get_compiled_trace(get_profile(profile), seed, 600)
+    reference = SetAssociativeCache(
+        geometry, config=config, policy_factory=_policy_factory(policy)
+    )
+    _reference_replay(reference, trace)
+    fast = SetAssociativeCache(
+        geometry, config=config, policy_factory=_policy_factory(policy)
+    )
+    hits, misses, evictions = fast.run_compiled(trace)
+    assert (hits, misses, evictions) == (
+        reference.hits, reference.misses, reference.evictions,
+    )
+    assert _cache_state(fast) == _cache_state(reference)
+
+
+# ----------------------------------------------------------------------
+# pipeline: compiled replay must reproduce cycle counts exactly
+# ----------------------------------------------------------------------
+def _make_pipeline_cases(count: int):
+    rng = random.Random(777)
+    cases = []
+    for index in range(count):
+        profile = rng.choice(_PROFILE_NAMES)
+        overlay = rng.choice(_OVERLAYS)
+        seed = rng.randrange(1, 20)
+        uniform = None
+        if overlay == "healthy" and rng.random() < 0.5:
+            uniform = 5  # naive binning (Section 4.5)
+        config = _overlay_config(rng, 4, overlay)
+        cases.append(
+            pytest.param(
+                profile, config, uniform, seed,
+                id=f"pipe{index:02d}-{profile}-{overlay}"
+                + ("-uniform" if uniform else ""),
+            )
+        )
+    return cases
+
+
+@pytest.mark.parametrize(
+    "profile,config,uniform,seed", _make_pipeline_cases(30)
+)
+def test_pipeline_compiled_matches_reference(profile, config, uniform, seed):
+    from repro.workloads import TraceGenerator
+
+    prof = get_profile(profile)
+    length, warmup = 700, 100
+    compiled = get_compiled_trace(prof, seed, length)
+    reference = Simulator(
+        l1d_config=config, uniform_load_latency=uniform
+    ).run(TraceGenerator(prof, seed=seed).generate(length), warmup=warmup)
+    fast = Simulator(
+        l1d_config=config, uniform_load_latency=uniform
+    ).run(compiled, warmup=warmup)
+    # SimResult is a frozen dataclass: == covers instructions, cycles,
+    # replays, LBB stalls, slow-way hits, mispredicts, loads, stores and
+    # the full hierarchy counter snapshot.
+    assert fast == reference
+
+
+# ----------------------------------------------------------------------
+# compiled-trace cache semantics
+# ----------------------------------------------------------------------
+class TestCompiledTraceCache:
+    def test_prefix_is_bit_identical_to_direct_compilation(self):
+        profile = get_profile("vpr")
+        long = compile_trace(profile, 11, 900)
+        short = compile_trace(profile, 11, 250)
+        # Content addresses prove the generator's prefix property: the
+        # first 250 packed instructions of the long compilation are the
+        # 250-instruction compilation.
+        assert long.prefix(250).key == short.key
+        assert list(long.prefix(250).instructions()) == list(
+            short.instructions()
+        )
+
+    def test_cache_serves_prefixes_and_counts_hits(self):
+        profile = get_profile("gap")
+        before = trace_cache_info()
+        first = get_compiled_trace(profile, 23, 500)
+        again = get_compiled_trace(profile, 23, 200)
+        after = trace_cache_info()
+        assert again.ops is first.ops  # shared buffers, no regeneration
+        assert again.length == 200
+        assert after["hits"] >= before["hits"] + 1
+        assert after["misses"] >= before["misses"] + 1
+
+    def test_longer_request_recompiles_and_replaces(self):
+        profile = get_profile("lucas")
+        short = get_compiled_trace(profile, 31, 100)
+        long = get_compiled_trace(profile, 31, 400)
+        assert len(long.ops) >= 400
+        # The overlap is bit-identical (prefix property).
+        assert long.prefix(100).key == short.key
+
+    def test_trace_key_is_identity_stable(self):
+        assert trace_key("gzip", 2006, 1000) == trace_key("gzip", 2006, 1000)
+        assert trace_key("gzip", 2006, 1000) != trace_key("gzip", 2006, 1001)
+        assert trace_key("gzip", 2006, 1000) != trace_key("mcf", 2006, 1000)
+
+
+# ----------------------------------------------------------------------
+# zero-way guard (H-YAPD region masks)
+# ----------------------------------------------------------------------
+class TestZeroWayGuard:
+    def test_band_disable_cannot_mask_every_way(self):
+        # 1 way, 4 bands: the disabled band removes the only way of one
+        # address group — rejected at construction, not mid-simulation.
+        with pytest.raises(ConfigurationError, match="zero usable ways"):
+            SetAssociativeCache(
+                CacheGeometry(4096, 1, 32),
+                config=WayConfig(latencies=(4,), disabled_band=0),
+            )
+
+    def test_policies_reject_empty_candidates_with_config_error(self):
+        for policy in (LRUPolicy(), FIFOPolicy(), RandomPolicy()):
+            with pytest.raises(ConfigurationError, match="eligible ways"):
+                policy.victim([])
+
+
+# ----------------------------------------------------------------------
+# flamegraph attribution: compile vs replay spans
+# ----------------------------------------------------------------------
+def test_compile_and_replay_spans_are_traced(tmp_path, monkeypatch):
+    from repro.cli import main
+    from repro.obs import configure_tracing, disable_tracing, load_spans
+    from repro.workloads import clear_trace_cache
+
+    trace_file = tmp_path / "t.jsonl"
+    configure_tracing(trace_file)
+    try:
+        clear_trace_cache()  # force a ctrace.compile span
+        profile = get_profile("gzip")
+        compiled = get_compiled_trace(profile, 3, 600)
+        Simulator().run(compiled, warmup=100)
+    finally:
+        disable_tracing()
+    names = {record["name"] for record in load_spans(trace_file)}
+    assert "ctrace.compile" in names
+    assert "ctrace.replay" in names
+    # And the flamegraph renders both, so time is attributed to
+    # compile vs replay when reading `repro trace flamegraph` output.
+    out = tmp_path / "flame.html"
+    assert main(
+        ["trace", "flamegraph", str(trace_file), "--out", str(out)]
+    ) == 0
+    html = out.read_text(encoding="utf-8")
+    assert "ctrace.compile" in html
+    assert "ctrace.replay" in html

@@ -22,7 +22,7 @@ import numpy as np
 import pytest
 
 from repro.cache.replacement import FIFOPolicy, LRUPolicy, RandomPolicy
-from repro.core.errors import SimulationError
+from repro.core.errors import ConfigurationError
 
 NUM_SEQUENCES = 30
 
@@ -112,9 +112,11 @@ def test_lru_victim_is_least_recent_candidate(seed):
 
 @pytest.mark.parametrize("policy_cls", [LRUPolicy, FIFOPolicy])
 def test_empty_candidates_raise(policy_cls):
-    with pytest.raises(SimulationError):
+    # Zero-way sets (H-YAPD masking every way of a group) are a
+    # configuration problem, not a simulator invariant violation.
+    with pytest.raises(ConfigurationError):
         policy_cls().victim([])
-    with pytest.raises(SimulationError):
+    with pytest.raises(ConfigurationError):
         RandomPolicy().victim([])
 
 
