@@ -20,8 +20,7 @@ paths; leakage is unchanged.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Tuple
+from typing import NamedTuple, Tuple
 
 from repro.circuit import devices, interconnect, sram
 from repro.circuit.devices import subthreshold_current
@@ -50,9 +49,11 @@ PERIPHERAL_LEAK_WIDTHS = {
 }
 
 
-@dataclass(frozen=True)
-class WayCircuitResult:
+class WayCircuitResult(NamedTuple):
     """Delay and leakage of one cache way.
+
+    A ``NamedTuple``: population evaluation builds two of these per
+    (chip, way) — regular and H-YAPD — so construction cost is hot.
 
     Attributes
     ----------
@@ -99,8 +100,7 @@ class WayCircuitResult:
         return max(range(len(self.band_delays)), key=lambda i: self.band_delays[i])
 
 
-@dataclass(frozen=True)
-class CacheCircuitResult:
+class CacheCircuitResult(NamedTuple):
     """Delay and leakage of one manufactured cache."""
 
     chip_id: int

@@ -21,8 +21,7 @@ leakage.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, NamedTuple, Optional, Tuple
 
 import numpy as np
 
@@ -48,9 +47,13 @@ PERIPHERAL_SEGMENTS: Tuple[str, ...] = (
 )
 
 
-@dataclass(frozen=True)
-class WayVariation:
+class WayVariation(NamedTuple):
     """Sampled parameters for one cache way.
+
+    A ``NamedTuple`` for the same reason as
+    :class:`~repro.variation.parameters.ProcessParameters`: populations
+    construct one per (chip, way) and tuple construction is several
+    times cheaper than a frozen dataclass's per-field ``__setattr__``.
 
     Attributes
     ----------
@@ -95,8 +98,7 @@ class WayVariation:
         return getattr(self, name)
 
 
-@dataclass(frozen=True)
-class CacheVariationMap:
+class CacheVariationMap(NamedTuple):
     """All sampled process parameters for one manufactured cache."""
 
     chip_id: int

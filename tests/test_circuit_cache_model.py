@@ -160,8 +160,8 @@ class TestEvaluatedChips:
         )
         cvmap = sampler.sample_chip(seed=3, chip_id=0)
         base = CacheCircuitModel().evaluate(cvmap)
-        boosted = cvmap.ways[0]
-        object.__setattr__(boosted, "band_residuals", (2.0, 1.0, 1.0, 1.0))
+        boosted = cvmap.ways[0]._replace(band_residuals=(2.0, 1.0, 1.0, 1.0))
+        cvmap = cvmap._replace(ways=(boosted,) + cvmap.ways[1:])
         scaled = CacheCircuitModel().evaluate(cvmap)
         assert scaled.ways[0].band_delays[0] == pytest.approx(
             2 * base.ways[0].band_delays[0]
