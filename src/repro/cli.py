@@ -15,6 +15,8 @@ Examples::
     repro bench run --suite engine --repeats 5
     repro bench compare --tolerance 0.1
     repro bench report bench.html
+    repro serve --port 8787 --workers 2
+    repro serve --port 0 --max-active 4 --trace serve.jsonl
 
 The same environment variables the experiment settings honour
 (``REPRO_CHIPS`` etc.) also work; explicit flags win. ``--workers``
@@ -227,6 +229,46 @@ def build_parser() -> argparse.ArgumentParser:
     bench_report.add_argument(
         "--tolerance", type=float, default=0.05,
         help="tolerance for the embedded verdict table (default 0.05)",
+    )
+
+    serve_parser = sub.add_parser(
+        "serve", help="run the long-lived yield-analysis HTTP service"
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    serve_parser.add_argument(
+        "--port", type=int, default=8787,
+        help="bind port; 0 picks an ephemeral port (default 8787)",
+    )
+    serve_parser.add_argument(
+        "--workers", type=int, default=None,
+        help="engine worker processes (default: REPRO_WORKERS or 1)",
+    )
+    serve_parser.add_argument(
+        "--max-active", type=int, default=8,
+        help="cold requests computing at once (default 8)",
+    )
+    serve_parser.add_argument(
+        "--max-queued", type=int, default=64,
+        help="cold requests waiting for admission before 503 (default 64)",
+    )
+    serve_parser.add_argument(
+        "--max-per-client", type=int, default=16,
+        help="queued requests per client before 429 (default 16)",
+    )
+    serve_parser.add_argument(
+        "--batch-window", type=float, default=0.01,
+        help="seconds compatible simulations wait to share one dispatch "
+             "(default 0.01)",
+    )
+    serve_parser.add_argument(
+        "--drain-timeout", type=float, default=30.0,
+        help="seconds to finish in-flight work on SIGTERM (default 30)",
+    )
+    serve_parser.add_argument(
+        "--trace", type=pathlib.Path, default=None,
+        help="write JSONL trace spans (one serve.request span per request)",
     )
     return parser
 
@@ -599,6 +641,45 @@ def _bench_report_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_command(args: argparse.Namespace) -> int:
+    from repro.serve.server import ServeConfig, run_server
+
+    if args.trace is not None:
+        args.trace.parent.mkdir(parents=True, exist_ok=True)
+        configure_tracing(args.trace)
+    if args.workers is not None:
+        configure_engine(workers=args.workers)
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        max_active=args.max_active,
+        max_queued=args.max_queued,
+        max_per_client=args.max_per_client,
+        batch_window=args.batch_window,
+        drain_timeout=args.drain_timeout,
+    )
+
+    def announce(server) -> None:
+        print(
+            f"repro serve listening on http://{server.host}:{server.port}",
+            flush=True,
+        )
+        print(
+            f"  workers {get_engine().config.workers}, "
+            f"max-active {config.max_active}, "
+            f"max-queued {config.max_queued}",
+            flush=True,
+        )
+
+    try:
+        run_server(config, engine=get_engine(), announce=announce)
+    finally:
+        if args.trace is not None:
+            disable_tracing()
+    print("repro serve: drained, exiting", flush=True)
+    return 0
+
+
 def _bench_command(args: argparse.Namespace) -> int:
     from repro.core.errors import ConfigurationError
 
@@ -631,6 +712,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "bench":
         return _bench_command(args)
+
+    if args.command == "serve":
+        return _serve_command(args)
 
     from repro.obs import ResourceSampler
 

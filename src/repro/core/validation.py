@@ -8,6 +8,7 @@ from repro.core.errors import ConfigurationError
 
 __all__ = [
     "env_int",
+    "env_positive_int",
     "require_positive",
     "require_non_negative",
     "require_in_range",
@@ -31,6 +32,22 @@ def env_int(name: str, default: int) -> int:
         raise ConfigurationError(
             f"environment variable {name} must be an integer, got {value!r}"
         ) from None
+
+
+def env_positive_int(name: str, default: int) -> int:
+    """Like :func:`env_int`, but the value must be strictly positive.
+
+    A zero or negative value raises :class:`ConfigurationError` naming
+    the environment variable, so a bad ``REPRO_WORKERS=0`` fails at
+    configuration time with an actionable message instead of surfacing
+    later as an opaque pool error.
+    """
+    value = env_int(name, default)
+    if value <= 0:
+        raise ConfigurationError(
+            f"environment variable {name} must be > 0, got {value}"
+        )
+    return value
 
 
 def require_positive(value: float, name: str) -> None:

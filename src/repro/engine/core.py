@@ -25,10 +25,12 @@ from __future__ import annotations
 import math
 import os
 import pathlib
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.core.validation import env_int, require_positive
+from repro.core.validation import env_int, env_positive_int, require_positive
 from repro.engine.codec import (
     decode_population,
     decode_simulation,
@@ -78,15 +80,21 @@ class EngineConfig:
 
     @classmethod
     def from_env(cls) -> "EngineConfig":
-        """Build the default configuration from ``REPRO_*`` variables."""
+        """Build the default configuration from ``REPRO_*`` variables.
+
+        Non-positive ``REPRO_WORKERS`` / ``REPRO_JOB_TIMEOUT`` values
+        raise :class:`~repro.core.errors.ConfigurationError` naming the
+        variable, instead of passing a nonsense count through to the
+        pool.
+        """
         return cls(
-            workers=env_int("REPRO_WORKERS", 1),
+            workers=env_positive_int("REPRO_WORKERS", 1),
             cache_dir=pathlib.Path(
                 os.environ.get("REPRO_CACHE_DIR", ".repro_cache")
             ),
             persistent=os.environ.get("REPRO_CACHE", "1") != "0",
             max_cache_bytes=env_int("REPRO_CACHE_MB", 512) * 1024 * 1024,
-            job_timeout=env_int("REPRO_JOB_TIMEOUT", 900),
+            job_timeout=env_positive_int("REPRO_JOB_TIMEOUT", 900),
         )
 
 
@@ -115,6 +123,15 @@ class Engine:
         )
         self._memo: Dict[str, object] = {}
         self._provenance: Optional[Dict[str, object]] = None
+        # Scheduler state: in-flight dedup table plus the thread pool the
+        # async submission API (`submit_*`) runs leaders on. A key appears
+        # in `_inflight` from the moment a leader claims it until its
+        # result (or error) is settled, so concurrent identical
+        # submissions — the serve layer's whole request mix — collapse
+        # onto one computation.
+        self._inflight: Dict[str, Future] = {}
+        self._inflight_lock = threading.Lock()
+        self._submit_pool: Optional[ThreadPoolExecutor] = None
 
     def provenance(self) -> Dict[str, object]:
         """Provenance stamp of this engine's code and configuration.
@@ -180,17 +197,50 @@ class Engine:
         if self.store is not None:
             self.store.save(kind, key, encode(result))
 
+    def has_cached(self, kind: str, key: str) -> bool:
+        """Is ``(kind, key)`` answerable without computing?
+
+        Checks the in-process memo, then bare file existence in the
+        persistent store (no read, no decode) — cheap enough for a server
+        to classify every incoming request as warm or cold before
+        deciding whether it must pass admission control.
+        """
+        if key in self._memo:
+            return True
+        if self.store is not None:
+            return self.store.path_for(kind, key).is_file()
+        return False
+
+    def inflight_count(self) -> int:
+        """How many distinct jobs are currently being computed."""
+        with self._inflight_lock:
+            return len(self._inflight)
+
     # ------------------------------------------------------------------
     # populations
     # ------------------------------------------------------------------
-    def population(self, settings, policy: ConstraintPolicy = NOMINAL_POLICY):
-        """The evaluated Monte Carlo population for ``settings``/``policy``."""
+    @staticmethod
+    def population_key(settings, policy: ConstraintPolicy = NOMINAL_POLICY) -> str:
+        """Deterministic store key of one population job."""
         identity = {
             "seed": settings.seed,
             "chips": settings.chips,
             "policy": policy_identity(policy),
         }
-        key = ResultStore.key_for("population", identity)
+        return ResultStore.key_for("population", identity)
+
+    def population(
+        self,
+        settings,
+        policy: ConstraintPolicy = NOMINAL_POLICY,
+        progress: Optional[Callable[[int, int], None]] = None,
+    ):
+        """The evaluated Monte Carlo population for ``settings``/``policy``.
+
+        ``progress`` (optional) is called as ``progress(done, total)``
+        after each dispatched shard completes; cache hits never call it.
+        """
+        key = self.population_key(settings, policy)
         with trace_span(
             "engine.population", chips=settings.chips, seed=settings.seed
         ) as sp:
@@ -200,11 +250,16 @@ class Engine:
                 return cached
             sp.set(source="computed")
             with self.stats.stage("population"):
-                result = self._compute_population(settings, policy)
+                result = self._compute_population(settings, policy, progress)
             self._settle("population", key, result, encode_population)
         return result
 
-    def _compute_population(self, settings, policy: ConstraintPolicy):
+    def _compute_population(
+        self,
+        settings,
+        policy: ConstraintPolicy,
+        progress: Optional[Callable[[int, int], None]] = None,
+    ):
         from repro.yieldmodel.analysis import YieldStudy
 
         study = YieldStudy(
@@ -215,7 +270,9 @@ class Engine:
             "engine.dispatch", kind="population", jobs=len(jobs),
             **self._dispatch_provenance(),
         ):
-            shards = self._executor.run(population_shard, jobs, self.stats)
+            shards = self._executor.run(
+                population_shard, jobs, self.stats, progress=progress
+            )
         regular = [circuit for shard in shards for circuit in shard[0]]
         horizontal = [circuit for shard in shards for circuit in shard[1]]
         return study.assemble(regular, horizontal)
@@ -262,12 +319,25 @@ class Engine:
             settings, [(benchmark, way_cycles, uniform_latency)]
         )[0]
 
-    def simulate_many(self, settings, specs: List[SimulationSpec]):
+    @classmethod
+    def simulation_key(cls, settings, spec: SimulationSpec) -> str:
+        """Deterministic store key of one simulation job."""
+        return ResultStore.key_for(
+            "simulation", cls._simulation_identity(settings, spec)
+        )
+
+    def simulate_many(
+        self,
+        settings,
+        specs: List[SimulationSpec],
+        progress: Optional[Callable[[int, int], None]] = None,
+    ):
         """Run many simulations, dispatching cache misses in parallel.
 
         Returns results in ``specs`` order. Experiments that sweep
         benchmark × configuration call this once up front so the pool
-        sees every independent job at the same time.
+        sees every independent job at the same time. ``progress`` (when
+        given) is called as ``progress(done, total)`` per computed job.
         """
         identities = [self._simulation_identity(settings, s) for s in specs]
         keys = [ResultStore.key_for("simulation", i) for i in identities]
@@ -312,6 +382,7 @@ class Engine:
                         simulation_job,
                         jobs,
                         self.stats,
+                        progress=progress,
                     )
                 for index, result in zip(misses, computed):
                     self._settle(
@@ -321,6 +392,131 @@ class Engine:
             if results[index] is None:
                 results[index] = self._memo[key]
         return results
+
+    # ------------------------------------------------------------------
+    # async submission (the scheduler face: serve layer, dashboards)
+    # ------------------------------------------------------------------
+    def _pool(self) -> ThreadPoolExecutor:
+        if self._submit_pool is None:
+            self._submit_pool = ThreadPoolExecutor(
+                max_workers=max(4, self.config.workers),
+                thread_name_prefix="repro-engine",
+            )
+        return self._submit_pool
+
+    def _claim(self, kind: str, key: str) -> Tuple[Future, bool]:
+        """The in-flight future for ``key`` and whether we lead it.
+
+        Joining an existing flight bumps ``engine.inflight.joined``; a
+        fresh claim bumps ``engine.inflight.leader``. The leader must
+        settle the future via :meth:`_finish`.
+        """
+        with self._inflight_lock:
+            future = self._inflight.get(key)
+            if future is not None:
+                self.metrics.counter(f"engine.inflight.joined.{kind}").inc()
+                return future, False
+            future = Future()
+            self._inflight[key] = future
+            self.metrics.counter(f"engine.inflight.leader.{kind}").inc()
+            return future, True
+
+    def _finish(self, key: str, future: Future, result, error) -> None:
+        with self._inflight_lock:
+            self._inflight.pop(key, None)
+        if error is not None:
+            future.set_exception(error)
+        else:
+            future.set_result(result)
+
+    def submit_population(
+        self,
+        settings,
+        policy: ConstraintPolicy = NOMINAL_POLICY,
+        progress: Optional[Callable[[int, int], None]] = None,
+    ) -> Future:
+        """Submit one population job; returns a ``concurrent.futures.Future``.
+
+        Concurrent submissions of the same job identity coalesce onto a
+        single computation (single-flight): the first caller becomes the
+        leader and runs :meth:`population` on the engine's thread pool,
+        later callers receive the same future. A memoised result resolves
+        immediately without touching the pool.
+        """
+        key = self.population_key(settings, policy)
+        if key in self._memo:
+            self.metrics.counter("engine.inflight.cached.population").inc()
+            future: Future = Future()
+            future.set_result(self._memo[key])
+            return future
+        future, leader = self._claim("population", key)
+        if leader:
+            def lead() -> None:
+                try:
+                    result = self.population(settings, policy, progress=progress)
+                except Exception as exc:  # settled into the future
+                    self._finish(key, future, None, exc)
+                else:
+                    self._finish(key, future, result, None)
+
+            self._pool().submit(lead)
+        return future
+
+    def submit_simulations(
+        self,
+        settings,
+        specs: List[SimulationSpec],
+        progress: Optional[Callable[[int, int], None]] = None,
+    ) -> List[Future]:
+        """Submit a batch of simulations; one future per spec, in order.
+
+        Specs already memoised resolve immediately; specs another caller
+        is already computing join that flight; the rest are claimed and
+        computed through **one** :meth:`simulate_many` call — a single
+        pool dispatch for the whole fresh set, which is what the serve
+        layer's batcher relies on.
+        """
+        futures: List[Future] = []
+        fresh: List[Tuple[str, Future, SimulationSpec]] = []
+        claimed: Dict[str, Future] = {}
+        for spec in specs:
+            key = self.simulation_key(settings, spec)
+            if key in claimed:
+                futures.append(claimed[key])
+                continue
+            if key in self._memo:
+                self.metrics.counter("engine.inflight.cached.simulation").inc()
+                future = Future()
+                future.set_result(self._memo[key])
+                futures.append(future)
+                continue
+            future, leader = self._claim("simulation", key)
+            if leader:
+                fresh.append((key, future, spec))
+                claimed[key] = future
+            futures.append(future)
+        if fresh:
+            def lead() -> None:
+                try:
+                    results = self.simulate_many(
+                        settings, [spec for _, _, spec in fresh],
+                        progress=progress,
+                    )
+                except Exception as exc:
+                    for key, future, _ in fresh:
+                        self._finish(key, future, None, exc)
+                else:
+                    for (key, future, _), result in zip(fresh, results):
+                        self._finish(key, future, result, None)
+
+            self._pool().submit(lead)
+        return futures
+
+    def shutdown(self) -> None:
+        """Stop the submission thread pool (in-flight leaders finish)."""
+        if self._submit_pool is not None:
+            self._submit_pool.shutdown(wait=True)
+            self._submit_pool = None
 
 
 # ----------------------------------------------------------------------

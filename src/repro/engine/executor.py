@@ -68,14 +68,44 @@ class ShardedExecutor:
         func: Callable[[J], R],
         jobs: Sequence[J],
         stats: Optional[EngineStats] = None,
+        progress: Optional[Callable[[int, int], None]] = None,
     ) -> List[R]:
-        """Run every job through ``func``; results come back in order."""
+        """Run every job through ``func``; results come back in order.
+
+        ``progress`` (optional) is invoked as ``progress(done, total)``
+        after each job completes, on the dispatching thread — the serve
+        layer hooks it to stream job progress to waiting clients. A
+        raising callback is swallowed: reporting must never fail a run.
+        """
         stats = stats if stats is not None else EngineStats(self.workers)
         if not jobs:
             return []
+        report = self._reporter(progress, len(jobs))
         if self.workers <= 1 or len(jobs) <= 1:
-            return [self._run_local(func, job, stats) for job in jobs]
-        return self._run_pool(func, jobs, stats)
+            results = []
+            for job in jobs:
+                results.append(self._run_local(func, job, stats))
+                report()
+            return results
+        return self._run_pool(func, jobs, stats, report)
+
+    @staticmethod
+    def _reporter(
+        progress: Optional[Callable[[int, int], None]], total: int
+    ) -> Callable[[], None]:
+        """A zero-argument per-job completion hook around ``progress``."""
+        if progress is None:
+            return lambda: None
+        done = 0
+
+        def report() -> None:
+            nonlocal done
+            done += 1
+            try:
+                progress(done, total)
+            except Exception:
+                pass
+        return report
 
     # ------------------------------------------------------------------
     def _run_local(
@@ -93,17 +123,25 @@ class ShardedExecutor:
         return result
 
     def _run_pool(
-        self, func: Callable[[J], R], jobs: Sequence[J], stats: EngineStats
+        self,
+        func: Callable[[J], R],
+        jobs: Sequence[J],
+        stats: EngineStats,
+        report: Callable[[], None],
     ) -> List[R]:
         with trace_span(
             "engine.pool",
             jobs=len(jobs),
             workers=min(self.workers, len(jobs)),
         ):
-            return self._run_pool_traced(func, jobs, stats)
+            return self._run_pool_traced(func, jobs, stats, report)
 
     def _run_pool_traced(
-        self, func: Callable[[J], R], jobs: Sequence[J], stats: EngineStats
+        self,
+        func: Callable[[J], R],
+        jobs: Sequence[J],
+        stats: EngineStats,
+        report: Callable[[], None],
     ) -> List[R]:
         start = time.perf_counter()
         pool = ProcessPoolExecutor(
@@ -120,31 +158,36 @@ class ShardedExecutor:
             return result
 
         results: List[R] = []
+
+        def push(result: R) -> None:
+            results.append(result)
+            report()
+
         try:
             futures = [pool.submit(_timed_call, func, job) for job in jobs]
             for job, future in zip(jobs, futures):
                 if not pool_alive:
-                    results.append(self._run_local(func, job, stats, degraded=True))
+                    push(self._run_local(func, job, stats, degraded=True))
                     continue
                 try:
                     elapsed, result = future.result(timeout=self.timeout)
                     stats.jobs_run += 1
                     stats.busy_seconds += elapsed
-                    results.append(result)
+                    push(result)
                     continue
                 except BrokenProcessPool:
                     pool_alive = False
-                    results.append(self._run_local(func, job, stats, degraded=True))
+                    push(self._run_local(func, job, stats, degraded=True))
                     continue
                 except (FutureTimeoutError, Exception):
                     stats.jobs_retried += 1
                 try:
-                    results.append(attempt(job))
+                    push(attempt(job))
                 except BrokenProcessPool:
                     pool_alive = False
-                    results.append(self._run_local(func, job, stats, degraded=True))
+                    push(self._run_local(func, job, stats, degraded=True))
                 except (FutureTimeoutError, Exception):
-                    results.append(self._run_local(func, job, stats, degraded=True))
+                    push(self._run_local(func, job, stats, degraded=True))
         finally:
             # Never block on stragglers (e.g. a hung worker we timed out).
             pool.shutdown(wait=False, cancel_futures=True)

@@ -162,6 +162,64 @@ def _prepare_breakdown(horizontal: bool):
     return prepare
 
 
+def _prepare_serve_warm(engine):
+    """Warm-store query latency through the full HTTP stack."""
+    from repro.serve.client import ServeClient
+    from repro.serve.server import ServeConfig, ServerThread
+
+    thread = ServerThread(engine, ServeConfig(port=0))
+    host, port = thread.start()
+    client = ServeClient(host, port)
+    client.population(seed=2006, chips=64)  # make the query warm
+
+    def run():
+        return client.population(seed=2006, chips=64)
+
+    def cleanup():
+        client.close()
+        thread.stop()
+
+    run.cleanup = cleanup
+    return run
+
+
+def _prepare_serve_burst(engine):
+    """Coalesced-burst throughput: N identical cold queries at once.
+
+    Each timed run clears the memo, so the burst is cold every repeat;
+    the single-flight path should collapse it onto one dispatch.
+    """
+    import threading as _threading
+
+    from repro.serve.client import ServeClient
+    from repro.serve.server import ServeConfig, ServerThread
+
+    thread = ServerThread(engine, ServeConfig(port=0))
+    host, port = thread.start()
+    clients = 8
+
+    def run():
+        engine.clear_memory()
+        barrier = _threading.Barrier(clients)
+
+        def one(index: int) -> None:
+            barrier.wait()
+            with ServeClient(host, port, client_id=f"bench-{index}") as c:
+                c.population(seed=2006, chips=128)
+
+        workers = [
+            _threading.Thread(target=one, args=(i,)) for i in range(clients)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        return clients
+
+    run.cleanup = thread.stop
+    return run
+
+
 #: Suite name -> benchmark list. Each suite is one hot path the ROADMAP
 #: cares about; every suite stays in CI-smoke territory (seconds).
 SUITES: Dict[str, List[Benchmark]] = {
@@ -176,6 +234,10 @@ SUITES: Dict[str, List[Benchmark]] = {
     "schemes": [
         Benchmark("schemes.breakdown_vertical", _prepare_breakdown(False)),
         Benchmark("schemes.breakdown_horizontal", _prepare_breakdown(True)),
+    ],
+    "serve": [
+        Benchmark("serve.warm_query", _prepare_serve_warm),
+        Benchmark("serve.coalesced_burst", _prepare_serve_burst),
     ],
 }
 

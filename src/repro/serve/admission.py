@@ -1,0 +1,149 @@
+"""Admission control: bounded queues with per-client fairness.
+
+Compute-requiring requests must acquire a slot before they may schedule
+work on the engine. The controller holds ``max_active`` concurrent
+slots; beyond that, requests wait in per-client FIFO queues that are
+drained **round-robin across clients**, so one client flooding the
+service delays its own queue, not everyone's. Two rejection modes:
+
+* a client exceeding its own queue bound is told to back off — HTTP 429;
+* a full server-wide queue is genuine overload — HTTP 503.
+
+Warm (cache-answerable) requests bypass admission entirely; they cost a
+store read, not a pool dispatch.
+
+Everything runs on the server's event loop — no locks, the loop is the
+serialization point.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import OrderedDict, deque
+from typing import Deque, Dict, Optional
+
+from repro.core.errors import ReproError
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["AdmissionController", "RejectedError"]
+
+
+class RejectedError(ReproError):
+    """The controller refused a request (carries the HTTP status)."""
+
+    def __init__(self, status: int, reason: str) -> None:
+        super().__init__(reason)
+        self.status = status
+        self.reason = reason
+
+
+class AdmissionController:
+    """Bounded, client-fair admission to the compute path.
+
+    Parameters
+    ----------
+    max_active:
+        Concurrent admitted requests (compute slots).
+    max_queued:
+        Server-wide bound on waiting requests; beyond it → 503.
+    max_per_client:
+        Per-client bound on waiting requests; beyond it → 429.
+    registry:
+        Metrics registry receiving ``serve.admit.*`` counters and the
+        ``serve.active`` / ``serve.queued`` gauges.
+    """
+
+    def __init__(
+        self,
+        max_active: int = 8,
+        max_queued: int = 64,
+        max_per_client: int = 16,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if max_active < 1:
+            raise ValueError("max_active must be >= 1")
+        self.max_active = max_active
+        self.max_queued = max_queued
+        self.max_per_client = max_per_client
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.active = 0
+        self.queued = 0
+        # client id -> FIFO of waiter futures; OrderedDict gives us the
+        # round-robin rotation (move_to_end after each grant).
+        self._waiters: "OrderedDict[str, Deque[asyncio.Future]]" = OrderedDict()
+
+    # ------------------------------------------------------------------
+    def _count(self, name: str) -> None:
+        self.registry.counter(name).inc()
+
+    def _gauges(self) -> None:
+        self.registry.gauge("serve.active").set(self.active)
+        self.registry.gauge("serve.queued").set(self.queued)
+
+    def queue_depth(self, client: str) -> int:
+        """How many requests ``client`` currently has waiting."""
+        queue = self._waiters.get(client)
+        return len(queue) if queue else 0
+
+    # ------------------------------------------------------------------
+    async def acquire(self, client: str) -> None:
+        """Wait for a slot, or raise :class:`RejectedError` (429/503)."""
+        if self.active < self.max_active and not self._waiters:
+            self.active += 1
+            self._count("serve.admit.accepted")
+            self._gauges()
+            return
+        if self.queued >= self.max_queued:
+            self._count("serve.admit.rejected_503")
+            raise RejectedError(
+                503, f"server queue full ({self.max_queued} waiting)"
+            )
+        if self.queue_depth(client) >= self.max_per_client:
+            self._count("serve.admit.rejected_429")
+            raise RejectedError(
+                429,
+                f"client {client!r} has {self.max_per_client} requests "
+                "queued; back off",
+            )
+        waiter: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._waiters.setdefault(client, deque()).append(waiter)
+        self.queued += 1
+        self._gauges()
+        try:
+            await waiter
+        except asyncio.CancelledError:
+            # The client went away while queued: withdraw, and if the
+            # grant already landed, pass the slot on.
+            queue = self._waiters.get(client)
+            if queue is not None and waiter in queue:
+                queue.remove(waiter)
+                if not queue:
+                    self._waiters.pop(client, None)
+                self.queued -= 1
+            if waiter.cancelled() is False and waiter.done():
+                self.active -= 1
+                self._grant_next()
+            self._gauges()
+            raise
+        self._count("serve.admit.accepted")
+        self._gauges()
+
+    def release(self) -> None:
+        """Return a slot and hand it to the next queued client (RR)."""
+        self.active -= 1
+        self._grant_next()
+        self._gauges()
+
+    def _grant_next(self) -> None:
+        while self._waiters and self.active < self.max_active:
+            client, queue = next(iter(self._waiters.items()))
+            waiter = queue.popleft()
+            self.queued -= 1
+            if not queue:
+                self._waiters.pop(client)
+            else:
+                self._waiters.move_to_end(client)
+            if waiter.cancelled():
+                continue
+            self.active += 1
+            waiter.set_result(None)

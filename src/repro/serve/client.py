@@ -1,0 +1,203 @@
+"""Stdlib client for the yield-analysis service.
+
+A thin synchronous wrapper over :mod:`http.client` — usable from tests,
+CI smoke jobs, benchmark harnesses and scripts without any third-party
+dependency. One :class:`ServeClient` holds one keep-alive connection;
+it is not thread-safe (give each thread its own client, they are cheap).
+
+Example::
+
+    from repro.serve.client import ServeClient
+
+    with ServeClient("127.0.0.1", 8787) as client:
+        print(client.healthz()["status"])
+        summary = client.population(seed=7, chips=200)
+        print(summary["regular"]["base_yield"])
+        for event in client.population_stream(seed=7, chips=2000):
+            print(event)  # accepted / progress / result events
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Dict, Iterator, List, Optional, Sequence
+
+__all__ = ["ServeClient", "ServeError"]
+
+
+class ServeError(Exception):
+    """A non-2xx response (carries the HTTP status and error body)."""
+
+    def __init__(self, status: int, body: object) -> None:
+        message = body.get("error") if isinstance(body, dict) else str(body)
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.body = body
+
+
+class ServeClient:
+    """Synchronous JSON client for one ``repro serve`` endpoint."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8787,
+        timeout: float = 60.0,
+        client_id: Optional[str] = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.client_id = client_id
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+    def _headers(self) -> Dict[str, str]:
+        headers = {"Content-Type": "application/json"}
+        if self.client_id is not None:
+            headers["X-Repro-Client"] = self.client_id
+        return headers
+
+    def _request(self, method: str, path: str, body: Optional[dict] = None):
+        payload = None if body is None else json.dumps(body).encode("utf-8")
+        for attempt in (1, 2):
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=payload, headers=self._headers())
+                response = conn.getresponse()
+                break
+            except (ConnectionError, http.client.HTTPException, OSError):
+                # A server-closed keep-alive connection: reconnect once.
+                self.close()
+                if attempt == 2:
+                    raise
+        data = response.read()
+        decoded = json.loads(data) if data else None
+        if response.status >= 300:
+            raise ServeError(response.status, decoded)
+        return decoded
+
+    def _stream(self, path: str, body: dict) -> Iterator[dict]:
+        # A dedicated connection per stream: the server closes it when
+        # the stream ends, and this client stays usable for more calls.
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            conn.request(
+                "POST", path, body=json.dumps(body).encode("utf-8"),
+                headers=self._headers(),
+            )
+            response = conn.getresponse()
+            if response.status >= 300:
+                data = response.read()
+                raise ServeError(
+                    response.status, json.loads(data) if data else None
+                )
+            while True:
+                line = response.readline()
+                if not line:
+                    break
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+        finally:
+            conn.close()
+
+    # ------------------------------------------------------------------
+    # endpoints
+    # ------------------------------------------------------------------
+    def healthz(self) -> dict:
+        """Server liveness/readiness snapshot."""
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> dict:
+        """The server's full metrics registry snapshot."""
+        return self._request("GET", "/metrics")
+
+    def population(
+        self,
+        seed: Optional[int] = None,
+        chips: Optional[int] = None,
+        policy: str = "nominal",
+        detail: str = "summary",
+    ) -> dict:
+        """One population query (blocking until the result is ready)."""
+        return self._request(
+            "POST", "/v1/population",
+            _drop_none(seed=seed, chips=chips, policy=policy, detail=detail),
+        )
+
+    def population_stream(
+        self,
+        seed: Optional[int] = None,
+        chips: Optional[int] = None,
+        policy: str = "nominal",
+        detail: str = "summary",
+    ) -> Iterator[dict]:
+        """Streaming population query: yields progress event dicts."""
+        body = _drop_none(seed=seed, chips=chips, policy=policy, detail=detail)
+        body["stream"] = True
+        return self._stream("/v1/population", body)
+
+    def simulate(
+        self,
+        benchmark: str,
+        seed: Optional[int] = None,
+        trace_length: Optional[int] = None,
+        warmup: Optional[int] = None,
+        way_cycles: Optional[Sequence[Optional[int]]] = None,
+        uniform_latency: Optional[int] = None,
+    ) -> dict:
+        """One simulation query (blocking until the result is ready)."""
+        return self._request(
+            "POST", "/v1/simulate",
+            _drop_none(
+                benchmark=benchmark, seed=seed, trace_length=trace_length,
+                warmup=warmup,
+                way_cycles=list(way_cycles) if way_cycles is not None else None,
+                uniform_latency=uniform_latency,
+            ),
+        )
+
+    def experiment(
+        self,
+        name: str,
+        seed: Optional[int] = None,
+        chips: Optional[int] = None,
+        trace_length: Optional[int] = None,
+        warmup: Optional[int] = None,
+        benchmarks: Optional[List[str]] = None,
+    ) -> dict:
+        """Run (or replay from cache) one named experiment."""
+        return self._request(
+            "POST", "/v1/experiment",
+            _drop_none(
+                name=name, seed=seed, chips=chips,
+                trace_length=trace_length, warmup=warmup,
+                benchmarks=benchmarks,
+            ),
+        )
+
+
+def _drop_none(**fields) -> dict:
+    return {name: value for name, value in fields.items() if value is not None}

@@ -1,0 +1,683 @@
+"""The yield-analysis service: a stdlib asyncio HTTP/1.1 server.
+
+``repro serve`` turns the engine into a long-running scheduler behind an
+HTTP/JSON API. The request path composes the rest of this package:
+
+1. **Routing** (:mod:`repro.serve.router`) — exact method/path table.
+2. **Warm classification** — every query is keyed by its deterministic
+   job identity; :meth:`Engine.has_cached` decides (memo check + store
+   file existence, no decode) whether the request is answerable without
+   compute. Warm requests bypass admission entirely.
+3. **Admission** (:mod:`repro.serve.admission`) — cold requests acquire
+   a compute slot or are told 429/503; per-client round-robin keeps one
+   flooding client from starving the rest.
+4. **Coalescing** (:mod:`repro.serve.coalescer`) — concurrent identical
+   queries share one flight and one computation.
+5. **Batching** (:mod:`repro.serve.batcher`) — compatible simulation
+   jobs landing within the batch window ride one pool dispatch.
+6. **Observability** — every request runs inside a ``serve.request``
+   trace span (the existing JSONL format); ``/metrics`` serialises the
+   engine's :class:`MetricsRegistry` (which the serve layer shares), and
+   ``/healthz`` reports engine/store/admission state.
+
+Progress streams as chunked ``application/x-ndjson``: one JSON object
+per line (``accepted``, ``progress``, ``result`` / ``error`` events).
+
+Graceful shutdown: SIGTERM/SIGINT stops the listener, refuses new work
+with 503, lets every in-flight flight settle (bounded by
+``drain_timeout``), then exits — a supervisor can roll the service
+without dropping accepted jobs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import threading
+import time
+from dataclasses import dataclass
+from typing import AsyncIterator, Dict, List, Optional, Tuple
+
+from repro.engine.store import canonical_json
+from repro.obs.trace import span as trace_span
+from repro.serve.admission import AdmissionController, RejectedError
+from repro.serve.batcher import SimulationBatcher
+from repro.serve.coalescer import Coalescer, Flight
+from repro.serve.protocol import (
+    ProtocolError,
+    experiment_payload,
+    parse_experiment,
+    parse_population,
+    parse_simulation,
+    population_payload,
+    simulation_payload,
+)
+from repro.serve.router import RouteError, Router
+
+__all__ = ["ServeConfig", "Request", "Response", "YieldServer",
+           "ServerThread", "run_server"]
+
+_REASONS = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 413: "Payload Too Large",
+    429: "Too Many Requests", 500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Tuning knobs of the service (see the CLI's ``repro serve``)."""
+
+    host: str = "127.0.0.1"
+    port: int = 8787
+    max_active: int = 8
+    max_queued: int = 64
+    max_per_client: int = 16
+    batch_window: float = 0.01
+    drain_timeout: float = 30.0
+    body_limit: int = 1 << 20
+    keepalive_timeout: float = 75.0
+
+
+class Request:
+    """One parsed HTTP request."""
+
+    __slots__ = ("method", "path", "headers", "body", "client")
+
+    def __init__(
+        self,
+        method: str,
+        path: str,
+        headers: Dict[str, str],
+        body: bytes,
+        client: str,
+    ) -> None:
+        self.method = method
+        self.path = path
+        self.headers = headers
+        self.body = body
+        self.client = client
+
+    def json(self) -> object:
+        """The JSON body (an empty body parses as ``{}``)."""
+        if not self.body:
+            return {}
+        try:
+            return json.loads(self.body)
+        except ValueError:
+            raise ProtocolError("request body is not valid JSON") from None
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "").lower() != "close"
+
+
+class Response:
+    """A JSON response: one payload, or a stream of NDJSON events."""
+
+    __slots__ = ("status", "payload", "stream")
+
+    def __init__(
+        self,
+        status: int = 200,
+        payload: Optional[dict] = None,
+        stream: Optional[AsyncIterator[dict]] = None,
+    ) -> None:
+        self.status = status
+        self.payload = payload
+        self.stream = stream
+
+    @staticmethod
+    def error(status: int, message: str) -> "Response":
+        return Response(status, {"error": message, "status": status})
+
+
+class _BadRequest(Exception):
+    """Malformed HTTP framing (connection-fatal)."""
+
+
+class YieldServer:
+    """Long-running yield-analysis service over one :class:`Engine`."""
+
+    def __init__(self, engine, config: Optional[ServeConfig] = None) -> None:
+        self.engine = engine
+        self.config = config if config is not None else ServeConfig()
+        self.metrics = engine.metrics
+        self.admission = AdmissionController(
+            max_active=self.config.max_active,
+            max_queued=self.config.max_queued,
+            max_per_client=self.config.max_per_client,
+            registry=self.metrics,
+        )
+        self.coalescer = Coalescer(registry=self.metrics)
+        self.batcher = SimulationBatcher(
+            engine, window=self.config.batch_window, registry=self.metrics
+        )
+        self.router = Router()
+        self.router.add("GET", "/healthz", _handle_healthz)
+        self.router.add("GET", "/metrics", _handle_metrics)
+        self.router.add("POST", "/v1/population", _handle_population)
+        self.router.add("POST", "/v1/simulate", _handle_simulate)
+        self.router.add("POST", "/v1/experiment", _handle_experiment)
+        self.draining = False
+        self.started = 0.0
+        self.host = self.config.host
+        self.port = self.config.port
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._closed = asyncio.Event()
+        self._connections: set = set()
+        self._shutdown_task: Optional[asyncio.Task] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> Tuple[str, int]:
+        """Bind and start accepting; returns the bound (host, port)."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        name = self._server.sockets[0].getsockname()
+        self.host, self.port = name[0], name[1]
+        self.started = time.time()
+        return self.host, self.port
+
+    async def wait_closed(self) -> None:
+        """Block until a shutdown completes."""
+        await self._closed.wait()
+
+    def request_shutdown(self) -> None:
+        """Idempotently begin a graceful drain (signal-handler safe)."""
+        if self._shutdown_task is None:
+            self._shutdown_task = asyncio.get_running_loop().create_task(
+                self.shutdown()
+            )
+
+    async def shutdown(self) -> None:
+        """Stop accepting, drain in-flight jobs, then release the loop."""
+        self.draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        try:
+            await asyncio.wait_for(
+                self._drain(), timeout=self.config.drain_timeout
+            )
+        except asyncio.TimeoutError:
+            self.metrics.counter("serve.drain.timeout").inc()
+        # Whatever connections remain are idle keep-alives: cut them.
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        self._closed.set()
+
+    async def _drain(self) -> None:
+        """Wait out accepted work: admission queues, batches, flights."""
+        while (
+            self.admission.active
+            or self.admission.queued
+            or self.coalescer.flight_count()
+            or self.batcher.pending()
+        ):
+            await self.batcher.flush_all()
+            await self.coalescer.drain()
+            await asyncio.sleep(0.02)
+        # Let drained handlers write their final responses out.
+        await asyncio.sleep(0.05)
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        self._connections.add(task)
+        try:
+            await self._serve_connection(reader, writer)
+        except asyncio.CancelledError:
+            pass
+        except (ConnectionError, TimeoutError, OSError):
+            pass
+        finally:
+            self._connections.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _serve_connection(self, reader, writer) -> None:
+        peer = writer.get_extra_info("peername")
+        peer_host = peer[0] if isinstance(peer, tuple) else str(peer)
+        while True:
+            try:
+                request = await self._read_request(reader, peer_host)
+            except _BadRequest as exc:
+                await self._write_json(
+                    writer, Response.error(400, str(exc)), keep_alive=False
+                )
+                return
+            except asyncio.TimeoutError:
+                return
+            if request is None:
+                return
+            response = await self._dispatch(request)
+            keep_alive = (
+                request.keep_alive
+                and not self.draining
+                and response.stream is None
+            )
+            if response.stream is not None:
+                await self._write_stream(writer, response)
+                return
+            await self._write_json(writer, response, keep_alive=keep_alive)
+            if not keep_alive:
+                return
+
+    async def _read_request(self, reader, peer_host: str) -> Optional[Request]:
+        try:
+            line = await asyncio.wait_for(
+                reader.readline(), timeout=self.config.keepalive_timeout
+            )
+        except asyncio.IncompleteReadError:
+            return None
+        except ValueError:  # request line beyond the stream limit
+            raise _BadRequest("request line too long") from None
+        if not line:
+            return None
+        parts = line.decode("latin-1").strip().split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/1"):
+            raise _BadRequest("malformed request line")
+        method, target = parts[0], parts[1]
+        headers: Dict[str, str] = {}
+        while True:
+            try:
+                raw = await reader.readline()
+            except asyncio.IncompleteReadError:
+                raise _BadRequest("truncated headers") from None
+            except ValueError:
+                raise _BadRequest("header line too long") from None
+            if raw in (b"\r\n", b"\n"):
+                break
+            if not raw:
+                raise _BadRequest("truncated headers")
+            name, sep, value = raw.decode("latin-1").partition(":")
+            if not sep:
+                raise _BadRequest(f"malformed header line {raw!r}")
+            headers[name.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError:
+            raise _BadRequest("malformed Content-Length") from None
+        if length < 0 or length > self.config.body_limit:
+            raise _BadRequest(
+                f"body too large ({length} > {self.config.body_limit} bytes)"
+            )
+        body = b""
+        if length:
+            try:
+                body = await reader.readexactly(length)
+            except asyncio.IncompleteReadError:
+                raise _BadRequest("truncated body") from None
+        path = target.partition("?")[0]
+        client = headers.get("x-repro-client", peer_host)
+        return Request(method, path, headers, body, client)
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    async def _dispatch(self, request: Request) -> Response:
+        self.metrics.counter("serve.requests").inc()
+        start = time.perf_counter()
+        with trace_span(
+            "serve.request",
+            method=request.method,
+            path=request.path,
+            client=request.client,
+        ) as sp:
+            response = await self._route(request)
+            sp.set(status=response.status)
+        self.metrics.histogram("serve.request_seconds").observe(
+            time.perf_counter() - start
+        )
+        self.metrics.counter(f"serve.responses.{response.status}").inc()
+        return response
+
+    async def _route(self, request: Request) -> Response:
+        if self.draining and request.path not in ("/healthz", "/metrics"):
+            return Response.error(503, "draining")
+        try:
+            handler = self.router.resolve(request.method, request.path)
+        except RouteError as exc:
+            return Response.error(exc.status, exc.reason)
+        try:
+            return await handler(self, request)
+        except ProtocolError as exc:
+            return Response.error(400, str(exc))
+        except RejectedError as exc:
+            return Response.error(exc.status, exc.reason)
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            self.metrics.counter("serve.errors").inc()
+            return Response.error(500, f"{type(exc).__name__}: {exc}")
+
+    # ------------------------------------------------------------------
+    # response writing
+    # ------------------------------------------------------------------
+    async def _write_json(
+        self, writer, response: Response, keep_alive: bool
+    ) -> None:
+        body = canonical_json(response.payload).encode("utf-8")
+        head = (
+            f"HTTP/1.1 {response.status} "
+            f"{_REASONS.get(response.status, 'Unknown')}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            "\r\n"
+        )
+        writer.write(head.encode("latin-1") + body)
+        await writer.drain()
+
+    async def _write_stream(self, writer, response: Response) -> None:
+        head = (
+            f"HTTP/1.1 {response.status} "
+            f"{_REASONS.get(response.status, 'Unknown')}\r\n"
+            "Content-Type: application/x-ndjson\r\n"
+            "Transfer-Encoding: chunked\r\n"
+            "Connection: close\r\n"
+            "\r\n"
+        )
+        writer.write(head.encode("latin-1"))
+        await writer.drain()
+        try:
+            async for event in response.stream:
+                data = (canonical_json(event) + "\n").encode("utf-8")
+                writer.write(
+                    f"{len(data):x}\r\n".encode("latin-1") + data + b"\r\n"
+                )
+                await writer.drain()
+            writer.write(b"0\r\n\r\n")
+            await writer.drain()
+        finally:
+            # Run the generator's cleanup now (admission release), not
+            # whenever the GC gets to it.
+            await response.stream.aclose()
+
+    # ------------------------------------------------------------------
+    # shared compute plumbing (used by the endpoint handlers)
+    # ------------------------------------------------------------------
+    async def _admitted(self, key: str, kind: str, client: str) -> bool:
+        """Acquire a compute slot when this request needs one.
+
+        Warm queries (cache-answerable) and joiners of an existing
+        flight don't add compute, so they bypass admission; returns
+        whether a slot was actually acquired (and must be released).
+        """
+        if self.coalescer.get(key) is not None:
+            return False
+        if self.engine.has_cached(kind, key):
+            self.metrics.counter("serve.request.warm").inc()
+            return False
+        self.metrics.counter("serve.request.cold").inc()
+        await self.admission.acquire(client)
+        return True
+
+    async def _run_flight(self, key: str, kind: str, client: str, start):
+        held = await self._admitted(key, kind, client)
+        try:
+            return await self.coalescer.run(key, start)
+        finally:
+            if held:
+                self.admission.release()
+
+    def _stream_flight(
+        self, key: str, kind: str, client: str, start, payload, held: bool
+    ) -> AsyncIterator[dict]:
+        """NDJSON event stream for one job (accepted → progress → result).
+
+        Admission (``held``) was acquired by the handler *before* the
+        200 header went out, so an overloaded server still rejects the
+        request with a plain 429/503 response; the slot is released when
+        the stream finishes (or the client goes away).
+        """
+
+        async def events() -> AsyncIterator[dict]:
+            try:
+                flights: List[Flight] = []
+                task = asyncio.get_running_loop().create_task(
+                    self.coalescer.run(key, start, flight_out=flights)
+                )
+                await asyncio.sleep(0)  # let the flight register
+                flight = flights[0] if flights else None
+                queue = (
+                    flight.subscribe()
+                    if flight is not None and not flight.done.is_set()
+                    else None
+                )
+                yield {
+                    "event": "accepted",
+                    "key": key,
+                    "kind": kind,
+                    "coalesced": flight is not None and flight.waiters > 1,
+                }
+                if queue is not None:
+                    while True:
+                        event = await queue.get()
+                        if event.get("event") == "done":
+                            break
+                        yield event
+                try:
+                    result = await task
+                except Exception as exc:
+                    yield {"event": "error", "status": 500,
+                           "error": f"{type(exc).__name__}: {exc}"}
+                    return
+                yield {"event": "result", "payload": payload(result)}
+            finally:
+                if held:
+                    self.admission.release()
+
+        return events()
+
+    def _progress_publisher(self, flight: Flight):
+        """A thread-safe ``progress(done, total)`` that feeds the flight."""
+        loop = asyncio.get_running_loop()
+
+        def progress(done: int, total: int) -> None:
+            loop.call_soon_threadsafe(
+                flight.publish,
+                {"event": "progress", "done": done, "total": total},
+            )
+
+        return progress
+
+
+# ----------------------------------------------------------------------
+# endpoint handlers
+# ----------------------------------------------------------------------
+async def _handle_healthz(server: YieldServer, request: Request) -> Response:
+    store = server.engine.store
+    return Response(200, {
+        "status": "draining" if server.draining else "ok",
+        "pid": os.getpid(),
+        "uptime_seconds": round(time.time() - server.started, 3),
+        "engine": {
+            "workers": server.engine.config.workers,
+            "inflight": server.engine.inflight_count(),
+        },
+        "store": store.info() if store is not None else None,
+        "admission": {
+            "active": server.admission.active,
+            "queued": server.admission.queued,
+            "max_active": server.admission.max_active,
+            "max_queued": server.admission.max_queued,
+        },
+        "flights": server.coalescer.flight_count(),
+        "batch_pending": server.batcher.pending(),
+    })
+
+
+async def _handle_metrics(server: YieldServer, request: Request) -> Response:
+    from repro.obs.metrics import get_metrics
+
+    return Response(200, {
+        "engine": server.engine.metrics.snapshot(),
+        "process": get_metrics().snapshot(),
+        "server": {
+            "draining": server.draining,
+            "uptime_seconds": round(time.time() - server.started, 3),
+        },
+    })
+
+
+async def _handle_population(server: YieldServer, request: Request) -> Response:
+    query = parse_population(request.json())
+
+    async def start(flight: Flight):
+        future = server.engine.submit_population(
+            query.settings, query.policy,
+            progress=server._progress_publisher(flight),
+        )
+        return await asyncio.wrap_future(future)
+
+    def payload(result) -> dict:
+        return population_payload(result, query.detail)
+
+    if query.stream:
+        held = await server._admitted(query.key, "population", request.client)
+        return Response(200, stream=server._stream_flight(
+            query.key, "population", request.client, start, payload, held
+        ))
+    result = await server._run_flight(
+        query.key, "population", request.client, start
+    )
+    return Response(200, payload(result))
+
+
+async def _handle_simulate(server: YieldServer, request: Request) -> Response:
+    query = parse_simulation(request.json())
+
+    async def start(flight: Flight):
+        return await server.batcher.simulate(
+            query.settings, query.spec,
+            progress=server._progress_publisher(flight),
+        )
+
+    if query.stream:
+        held = await server._admitted(query.key, "simulation", request.client)
+        return Response(200, stream=server._stream_flight(
+            query.key, "simulation", request.client, start,
+            simulation_payload, held,
+        ))
+    result = await server._run_flight(
+        query.key, "simulation", request.client, start
+    )
+    return Response(200, simulation_payload(result))
+
+
+async def _handle_experiment(server: YieldServer, request: Request) -> Response:
+    from repro.experiments import run_experiment
+
+    query = parse_experiment(request.json())
+
+    async def start(flight: Flight):
+        return await asyncio.get_running_loop().run_in_executor(
+            None, run_experiment, query.name, query.settings
+        )
+
+    result = await server._run_flight(
+        query.key, "experiment", request.client, start
+    )
+    return Response(200, experiment_payload(result))
+
+
+# ----------------------------------------------------------------------
+# entry points
+# ----------------------------------------------------------------------
+async def _amain(config: ServeConfig, engine=None, announce=None) -> None:
+    from repro.engine import get_engine
+
+    engine = engine if engine is not None else get_engine()
+    server = YieldServer(engine, config)
+    host, port = await server.start()
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(sig, server.request_shutdown)
+        except NotImplementedError:  # pragma: no cover - non-POSIX
+            pass
+    if announce is not None:
+        announce(server)
+    await server.wait_closed()
+
+
+def run_server(
+    config: Optional[ServeConfig] = None, engine=None, announce=None
+) -> None:
+    """Run the service until SIGTERM/SIGINT completes a graceful drain.
+
+    ``announce(server)`` (optional) is called once the socket is bound —
+    the CLI prints the listening address through it.
+    """
+    asyncio.run(_amain(config or ServeConfig(), engine, announce))
+
+
+class ServerThread:
+    """A :class:`YieldServer` on a background thread (tests, benchmarks).
+
+    Usage::
+
+        thread = ServerThread(engine, ServeConfig(port=0))
+        host, port = thread.start()
+        ...
+        thread.stop()
+    """
+
+    def __init__(self, engine, config: Optional[ServeConfig] = None) -> None:
+        self.engine = engine
+        self.config = config if config is not None else ServeConfig(port=0)
+        self.server: Optional[YieldServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._ready = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve", daemon=True
+        )
+
+    def start(self, timeout: float = 10.0) -> Tuple[str, int]:
+        """Start the server; returns the bound (host, port)."""
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise RuntimeError("serve thread failed to start in time")
+        assert self.server is not None
+        return self.server.host, self.server.port
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Graceful drain, then join the thread."""
+        if self._loop is not None and self._thread.is_alive():
+            try:
+                self._loop.call_soon_threadsafe(
+                    lambda: self.server.request_shutdown()
+                )
+            except RuntimeError:  # loop already gone
+                pass
+        self._thread.join(timeout)
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        self._loop = loop
+        asyncio.set_event_loop(loop)
+        try:
+            loop.run_until_complete(self._main())
+        finally:
+            asyncio.set_event_loop(None)
+            loop.close()
+
+    async def _main(self) -> None:
+        self.server = YieldServer(self.engine, self.config)
+        await self.server.start()
+        self._ready.set()
+        await self.server.wait_closed()

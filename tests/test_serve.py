@@ -1,0 +1,380 @@
+"""End-to-end tests: a live server over a real socket.
+
+A :class:`ServerThread` hosts the service on an ephemeral port with its
+own engine (scratch store), and stdlib clients talk to it exactly the
+way CI and external callers do. The tier-1 claims of the serve layer are
+asserted here:
+
+* N concurrent identical cold queries cost exactly one pool dispatch
+  (``stage.population`` histogram count), with the surplus accounted for
+  by coalesce-joins or warm hits;
+* a repeat query after completion costs zero dispatches and returns a
+  payload **bit-identical** to encoding the direct engine result;
+* overload yields clean 429/503 responses, never a crashed server;
+* progress streams deliver accepted → progress → result;
+* SIGTERM on a live ``repro serve`` process drains in-flight work
+  before exiting 0.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.engine.store import canonical_json
+from repro.engine.core import Engine, EngineConfig
+from repro.experiments.common import ExperimentSettings
+from repro.serve import ServeClient, ServeConfig, ServeError, ServerThread
+
+SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+
+
+@pytest.fixture(scope="module")
+def served(tmp_path_factory):
+    """A live server plus its engine; one per module, scratch store."""
+    engine = Engine(
+        EngineConfig(
+            workers=1, cache_dir=tmp_path_factory.mktemp("serve-store")
+        )
+    )
+    thread = ServerThread(engine, ServeConfig(port=0))
+    host, port = thread.start()
+    yield engine, host, port
+    thread.stop()
+    engine.shutdown()
+
+
+def _counters(engine):
+    return engine.metrics.snapshot()["counters"]
+
+
+def _dispatches(engine) -> int:
+    histograms = engine.metrics.snapshot()["histograms"]
+    stage = histograms.get("stage.population")
+    return int(stage["count"]) if stage else 0
+
+
+# ----------------------------------------------------------------------
+# basic surface
+# ----------------------------------------------------------------------
+def test_healthz_reports_engine_and_admission(served):
+    engine, host, port = served
+    with ServeClient(host, port) as client:
+        health = client.healthz()
+    assert health["status"] == "ok"
+    assert health["engine"]["workers"] == 1
+    assert health["admission"]["max_active"] == 8
+    assert "store" in health
+
+
+def test_metrics_serves_registry_snapshot(served):
+    engine, host, port = served
+    with ServeClient(host, port) as client:
+        client.population(seed=11, chips=20)
+        metrics = client.metrics()
+    assert "serve.requests" in metrics["engine"]["counters"]
+    assert metrics["server"]["draining"] is False
+
+
+def test_unknown_endpoint_404_wrong_method_405(served):
+    engine, host, port = served
+    with ServeClient(host, port) as client:
+        with pytest.raises(ServeError) as info:
+            client._request("GET", "/nope")
+        assert info.value.status == 404
+        with pytest.raises(ServeError) as info:
+            client._request("GET", "/v1/population")
+        assert info.value.status == 405
+
+        with pytest.raises(ServeError) as info:
+            client._request("POST", "/v1/population", {"policy": "bogus"})
+        assert info.value.status == 400
+
+
+# ----------------------------------------------------------------------
+# coalescing: N concurrent identical queries, one dispatch
+# ----------------------------------------------------------------------
+def test_concurrent_identical_queries_one_dispatch(served):
+    engine, host, port = served
+    body = {"seed": 21, "chips": 2000, "detail": "summary"}
+    n = 6
+    before_dispatches = _dispatches(engine)
+    before = _counters(engine)
+
+    results, errors = [None] * n, []
+    barrier = threading.Barrier(n)
+
+    def query(i):
+        try:
+            barrier.wait()
+            with ServeClient(host, port, client_id=f"client-{i}") as client:
+                results[i] = client._request("POST", "/v1/population", body)
+        except Exception as exc:  # noqa: BLE001 - recorded for the assert
+            errors.append(exc)
+
+    threads = [threading.Thread(target=query, args=(i,)) for i in range(n)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=60)
+
+    assert not errors
+    assert all(r == results[0] for r in results)
+    # The heart of the PR: six requests, one pool dispatch.
+    assert _dispatches(engine) - before_dispatches == 1
+    after = _counters(engine)
+
+    def delta(name):
+        return after.get(name, 0) - before.get(name, 0)
+
+    assert delta("serve.coalesce.leader") == 1
+    # Everyone else either joined the flight or arrived after it settled
+    # (a warm store hit) — both cost zero dispatches.
+    assert delta("serve.coalesce.joined") + delta("serve.request.warm") == n - 1
+
+
+def test_warm_repeat_zero_dispatch_bit_identical(served):
+    engine, host, port = served
+    body = {"seed": 33, "chips": 40, "detail": "full"}
+
+    def raw_query():
+        conn = http.client.HTTPConnection(host, port, timeout=60)
+        try:
+            conn.request(
+                "POST", "/v1/population", body=json.dumps(body).encode(),
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            payload = response.read()
+            assert response.status == 200
+            return payload
+        finally:
+            conn.close()
+
+    first = raw_query()
+    before = _dispatches(engine)
+    repeat = raw_query()
+    # Byte-for-byte identical, and nothing recomputed.
+    assert repeat == first
+    assert _dispatches(engine) - before == 0
+
+    # And identical to encoding the direct engine result ourselves.
+    from repro.engine.codec import encode_population
+
+    result = engine.population(ExperimentSettings(seed=33, chips=40))
+    expected = canonical_json(
+        {"kind": "population", "detail": "full",
+         "result": encode_population(result)}
+    ).encode("utf-8")
+    assert first == expected
+
+
+def test_simulations_batch_into_shared_dispatch(served):
+    engine, host, port = served
+    benchmarks = ["gzip", "mcf", "swim"]
+    before = _counters(engine)
+
+    results, errors = {}, []
+    barrier = threading.Barrier(len(benchmarks))
+
+    def query(benchmark):
+        try:
+            barrier.wait()
+            with ServeClient(host, port) as client:
+                results[benchmark] = client.simulate(
+                    benchmark, seed=44, trace_length=3000, warmup=300
+                )
+        except Exception as exc:  # noqa: BLE001
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=query, args=(b,)) for b in benchmarks
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=60)
+
+    assert not errors
+    assert set(results) == set(benchmarks)
+    assert all(r["kind"] == "simulation" for r in results.values())
+    after = _counters(engine)
+    dispatched = after.get("serve.batch.dispatches", 0) - before.get(
+        "serve.batch.dispatches", 0
+    )
+    jobs = after.get("serve.batch.jobs", 0) - before.get(
+        "serve.batch.jobs", 0
+    )
+    assert jobs == len(benchmarks)
+    # All three landed within the batch window → fewer dispatches than
+    # jobs; with full overlap exactly one.
+    assert dispatched <= 2
+
+
+# ----------------------------------------------------------------------
+# streaming
+# ----------------------------------------------------------------------
+def test_population_stream_events(served):
+    engine, host, port = served
+    with ServeClient(host, port) as client:
+        events = list(client.population_stream(seed=55, chips=500))
+    kinds = [event["event"] for event in events]
+    assert kinds[0] == "accepted"
+    assert kinds[-1] == "result"
+    assert events[0]["key"]
+    result = events[-1]["payload"]
+    assert result["kind"] == "population"
+    # A warm repeat still streams, with the same payload.
+    with ServeClient(host, port) as client:
+        warm = list(client.population_stream(seed=55, chips=500))
+    assert warm[-1]["payload"] == result
+
+
+# ----------------------------------------------------------------------
+# admission control under overload
+# ----------------------------------------------------------------------
+def test_overload_yields_429_and_503(tmp_path):
+    engine = Engine(EngineConfig(workers=1, cache_dir=tmp_path / "store"))
+    thread = ServerThread(
+        engine,
+        ServeConfig(port=0, max_active=1, max_queued=2, max_per_client=1),
+    )
+    host, port = thread.start()
+    try:
+        statuses = {}
+        occupier_done = threading.Event()
+
+        def occupy():
+            # A slow cold query that pins the single compute slot.
+            with ServeClient(host, port, client_id="occupier") as client:
+                client.population(seed=71, chips=4000)
+            occupier_done.set()
+
+        occupier = threading.Thread(target=occupy)
+        occupier.start()
+        # Wait until the slot is actually held.
+        deadline = time.time() + 10
+        with ServeClient(host, port, client_id="probe") as probe:
+            while time.time() < deadline:
+                if probe.healthz()["admission"]["active"] >= 1:
+                    break
+                time.sleep(0.01)
+            else:
+                pytest.fail("occupier never acquired the compute slot")
+
+        def cold_query(client_id, seed, bucket):
+            try:
+                with ServeClient(host, port, client_id=client_id) as client:
+                    client.population(seed=seed, chips=1500)
+                statuses[bucket] = 200
+            except ServeError as exc:
+                statuses[bucket] = exc.status
+
+        # Client "greedy" queues one (fills its per-client bound)...
+        q1 = threading.Thread(
+            target=cold_query, args=("greedy", 72, "queued")
+        )
+        q1.start()
+        deadline = time.time() + 10
+        with ServeClient(host, port, client_id="probe") as probe:
+            while time.time() < deadline:
+                if probe.healthz()["admission"]["queued"] >= 1:
+                    break
+                time.sleep(0.01)
+
+        # ...its second is told to back off.
+        cold_query("greedy", 73, "greedy-second")
+        assert statuses["greedy-second"] == 429
+
+        # Fill the global queue, then the next client sees 503.
+        q2 = threading.Thread(
+            target=cold_query, args=("other", 74, "queued2")
+        )
+        q2.start()
+        deadline = time.time() + 10
+        with ServeClient(host, port, client_id="probe") as probe:
+            while time.time() < deadline:
+                if probe.healthz()["admission"]["queued"] >= 2:
+                    break
+                time.sleep(0.01)
+        cold_query("third", 75, "overflow")
+        assert statuses["overflow"] == 503
+
+        occupier.join(timeout=60)
+        q1.join(timeout=60)
+        q2.join(timeout=60)
+        assert occupier_done.is_set()
+        # The queued requests eventually ran to completion.
+        assert statuses["queued"] == 200
+        assert statuses["queued2"] == 200
+        # And the server is still healthy afterwards.
+        with ServeClient(host, port) as client:
+            assert client.healthz()["status"] == "ok"
+    finally:
+        thread.stop()
+        engine.shutdown()
+
+
+# ----------------------------------------------------------------------
+# SIGTERM drain on the real CLI process
+# ----------------------------------------------------------------------
+def test_sigterm_drains_inflight_work(tmp_path):
+    env = dict(
+        os.environ,
+        PYTHONPATH=SRC,
+        REPRO_CACHE_DIR=str(tmp_path / "store"),
+    )
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--port", "0"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True, env=env,
+    )
+    try:
+        line = proc.stdout.readline()
+        match = re.search(r"http://([\d.]+):(\d+)", line)
+        assert match, f"no listen announcement in {line!r}"
+        host, port = match.group(1), int(match.group(2))
+
+        outcome = {}
+
+        def slow_query():
+            try:
+                with ServeClient(host, port, timeout=60) as client:
+                    outcome["result"] = client.population(seed=91, chips=4000)
+            except Exception as exc:  # noqa: BLE001
+                outcome["error"] = exc
+
+        worker = threading.Thread(target=slow_query)
+        worker.start()
+        # Wait for the job to be admitted, then pull the plug.
+        deadline = time.time() + 15
+        admitted = False
+        while time.time() < deadline and not admitted:
+            try:
+                with ServeClient(host, port, timeout=5) as probe:
+                    admitted = probe.healthz()["admission"]["active"] >= 1
+            except Exception:  # noqa: BLE001 - server still starting
+                pass
+            time.sleep(0.01)
+        assert admitted, "in-flight job never showed up in /healthz"
+        proc.send_signal(signal.SIGTERM)
+
+        worker.join(timeout=60)
+        out, _ = proc.communicate(timeout=60)
+        assert proc.returncode == 0, out
+        assert "drained" in out
+        # The in-flight query finished despite the shutdown.
+        assert "result" in outcome, outcome.get("error")
+        assert outcome["result"]["kind"] == "population"
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate()
