@@ -1,0 +1,433 @@
+"""Columnar circuit evaluation over a sampled population.
+
+:meth:`CacheCircuitModel._way_base` evaluates one way at a time with
+scalar Python arithmetic — fine for a chip, dominant for a population.
+This module replays the *same* arithmetic over the whole population at
+once: every scalar expression of the flat kernel becomes the identical
+elementwise expression over ``(chips, ways)``- or ``(chips, ways,
+bands)``-shaped arrays, keeping the reference's operation order and
+association so each element is bit-identical to the per-way evaluation
+(asserted by ``tests/test_columnar_diff.py``).
+
+The entry point, :func:`evaluate_population_pair`, is the columnar
+mirror of :meth:`CacheCircuitModel.evaluate_pair`: one pass over the
+columns produces the regular *and* H-YAPD results (they differ only by
+the uniform post-decoder delay scale), materialised back into the same
+:class:`CacheCircuitResult` tuples the per-chip path returns — so the
+engine's store payloads are byte-identical whichever path computed them.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Tuple
+
+import numpy as np
+
+from repro.circuit import devices, sram
+from repro.circuit.cache_model import (
+    CacheCircuitModel,
+    CacheCircuitResult,
+    PERIPHERAL_LEAK_WIDTHS,
+    WayCircuitResult,
+)
+from repro.core.errors import ConfigurationError
+from repro.variation.columnar import ColumnarPopulation
+
+__all__ = [
+    "CircuitColumns",
+    "evaluate_population_columns",
+    "evaluate_population_pair",
+    "materialize_results",
+]
+
+# PARAMETER_NAMES order of the trailing parameter axis.
+_LGATE, _VT, _METAL_WIDTH, _METAL_THICKNESS, _ILD = range(5)
+
+
+class CircuitColumns(NamedTuple):
+    """Scale-independent circuit outputs of one population, as columns.
+
+    ``base_delays`` carries each (chip, way, band) access-path delay
+    *including* its residual but before the post-decoder scale — the
+    quantity the regular and H-YAPD organisations share. Multiply by a
+    model's delay scale to get that organisation's band delays.
+    """
+
+    chip_ids: Tuple[int, ...]
+    base_delays: np.ndarray  # (C, W, B)
+    band_leakage: np.ndarray  # (C, W, B)
+    peripheral_leakage: np.ndarray  # (C, W)
+
+    def way_delays(self, delay_scale: float = 1.0) -> np.ndarray:
+        """Per-way access delay (s): max over bands, scaled. (C, W)."""
+        return (self.base_delays * delay_scale).max(axis=2)
+
+    def access_delays(self, delay_scale: float = 1.0) -> np.ndarray:
+        """Whole-cache access delay (s) per chip: slowest way. (C,)."""
+        return self.way_delays(delay_scale).max(axis=1)
+
+    def total_leakage(self) -> np.ndarray:
+        """Total cache leakage (W) per chip, summed in the per-chip
+        reference's left-to-right order (bands, then periphery, then
+        ways) so the values are bit-identical to
+        ``CacheCircuitResult.total_leakage``. (C,)."""
+        num_ways = self.band_leakage.shape[1]
+        num_bands = self.band_leakage.shape[2]
+        total = None
+        for way in range(num_ways):
+            acc = self.band_leakage[:, way, 0].copy()
+            for band in range(1, num_bands):
+                acc += self.band_leakage[:, way, band]
+            acc += self.peripheral_leakage[:, way]
+            total = acc if total is None else total + acc
+        return total
+
+
+def _effective_vt(
+    lgate: np.ndarray, vt: np.ndarray, model: CacheCircuitModel
+) -> np.ndarray:
+    """Gate-length roll-off plus the minimum-Vt floor (elementwise)."""
+    tech = model.tech
+    shortfall = (tech.nominal_lgate - lgate) / tech.nominal_lgate
+    return np.maximum(vt - tech.vt_rolloff * shortfall, devices._MIN_VT)
+
+
+def _pow_columns(base: np.ndarray, exponent: float) -> np.ndarray:
+    """Elementwise ``base ** exponent`` via scalar pow.
+
+    NumPy's vectorised pow kernels (SIMD) can differ from the scalar
+    libm pow the per-chip reference uses by one ulp, so the few pow
+    sites evaluate element by element with Python's ``**`` — the exact
+    operation of the reference. Every other operation in this module
+    (+, -, *, /, min, max) is elementwise IEEE arithmetic and therefore
+    identical either way.
+    """
+    flat = base.reshape(-1).tolist()
+    out = np.array([value**exponent for value in flat])
+    return out.reshape(base.shape)
+
+
+def _pow10_columns(exponent: np.ndarray) -> np.ndarray:
+    """Elementwise ``10.0 ** exponent`` via scalar pow (see above)."""
+    flat = exponent.reshape(-1).tolist()
+    out = np.array([10.0**value for value in flat])
+    return out.reshape(exponent.shape)
+
+
+def _overdrive_pow(vt: np.ndarray, model: CacheCircuitModel) -> np.ndarray:
+    overdrive = np.maximum(
+        model.tech.vdd - vt, devices._MIN_OVERDRIVE
+    )
+    return _pow_columns(overdrive, model.tech.alpha)
+
+
+def _wire_rc(
+    params: np.ndarray, model: CacheCircuitModel
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-unit-length wire resistance and capacitance (elementwise)."""
+    tech = model.tech
+    width = params[..., _METAL_WIDTH]
+    thickness = params[..., _METAL_THICKNESS]
+    area = width * thickness
+    if np.any(area <= 0):
+        raise ConfigurationError("wire cross-section must be positive")
+    resistance = tech.wire_resistivity / area
+    spacing = np.maximum(tech.wire_pitch - width, model._min_spacing)
+    capacitance = (
+        tech.wire_cap_eps * width / params[..., _ILD]
+        + tech.wire_fringe_cap
+        + model._miller_eps * thickness / spacing
+    )
+    return resistance, capacitance
+
+
+def _subthreshold_leakage(
+    width: float, lgate: np.ndarray, vt: np.ndarray, model: CacheCircuitModel
+) -> np.ndarray:
+    """Leakage power (W) of one segment: I_sub * Vdd (elementwise)."""
+    return (
+        model._leak_coeff
+        * (width / lgate)
+        * _pow10_columns(-vt / model._swing)
+        * model.tech.vdd
+    )
+
+
+def evaluate_population_columns(
+    model: CacheCircuitModel, population: ColumnarPopulation
+) -> CircuitColumns:
+    """Evaluate every chip's access paths and leakage in bulk.
+
+    The body is :meth:`CacheCircuitModel._way_base` with arrays in place
+    of scalars — same subexpressions, same accumulation order.
+    """
+    if population.num_bands != model.org.num_bands:
+        raise ConfigurationError(
+            f"population has {population.num_bands} bands, "
+            f"organisation expects {model.org.num_bands}"
+        )
+    tech = model.tech
+    org = model.org
+    sizing = model.sizing
+    vdd = tech.vdd
+    drive_coeff = model._drive_coeff
+    delay_coeff = tech.delay_coeff
+
+    # --- decoder segment: decode chain, GWL drive, leakage threshold
+    dec = population.peripherals[:, :, 0, :]
+    dec_lgate = dec[..., _LGATE]
+    dec_vt = _effective_vt(dec_lgate, dec[..., _VT], model)
+    dec_pow = _overdrive_pow(dec_vt, model)
+    dec_r, dec_c = _wire_rc(dec, model)
+    decoder = sizing.decoder
+    bus_length = decoder.address_bus_length
+    bus_res = vdd / (
+        drive_coeff * (decoder.address_driver_width / dec_lgate) * dec_pow
+    )
+    r_wire = dec_r * bus_length
+    c_wire = dec_c * bus_length
+    first_gate_cap = model._dec_first_gate_cap
+    decode = (
+        0.69 * bus_res * (c_wire + first_gate_cap)
+        + 0.38 * r_wire * c_wire
+        + 0.69 * r_wire * first_gate_cap
+    )
+    for stage_width, stage_load in model._dec_stages:
+        decode += (
+            delay_coeff
+            * (vdd / (drive_coeff * (stage_width / dec_lgate) * dec_pow))
+            * stage_load
+        )
+    gwl_res = vdd / (
+        drive_coeff * (sizing.gwl_driver_width / dec_lgate) * dec_pow
+    )
+
+    # --- precharge segment drive
+    pre = population.peripherals[:, :, 1, :]
+    pre_vt = _effective_vt(pre[..., _LGATE], pre[..., _VT], model)
+    precharge_k = delay_coeff * (
+        vdd
+        / (
+            drive_coeff
+            * (sram.PRECHARGE_WIDTH / pre[..., _LGATE])
+            * _overdrive_pow(pre_vt, model)
+        )
+    )
+
+    # --- sense-amplifier segment
+    sa = population.peripherals[:, :, 2, :]
+    sa_vt = _effective_vt(sa[..., _LGATE], sa[..., _VT], model)
+    sense = sram.SENSEAMP_STAGES * (
+        delay_coeff
+        * (
+            vdd
+            / (
+                drive_coeff
+                * (sram.SENSEAMP_STAGE_WIDTH / sa[..., _LGATE])
+                * _overdrive_pow(sa_vt, model)
+            )
+        )
+        * sram.SENSEAMP_STAGE_CAP
+    )
+
+    # --- output-driver segment
+    out = population.peripherals[:, :, 3, :]
+    out_vt = _effective_vt(out[..., _LGATE], out[..., _VT], model)
+    out_res = vdd / (
+        drive_coeff
+        * (sizing.output_driver_width / out[..., _LGATE])
+        * _overdrive_pow(out_vt, model)
+    )
+
+    # --- way-level interconnect
+    way_r, way_c = _wire_rc(population.way_params, model)
+
+    # --- per-band paths, all (C, W, B)
+    global_lengths = np.array(model._global_lengths)  # (B,)
+    way_r_wire = way_r[:, :, None] * global_lengths
+    way_c_wire = way_c[:, :, None] * global_lengths
+    bands = population.bands
+    band_lgate = bands[..., _LGATE]
+    band_vt = _effective_vt(band_lgate, bands[..., _VT], model)
+    band_pow = _overdrive_pow(band_vt, model)
+    band_r, band_c = _wire_rc(bands, model)
+
+    # 1. decode
+    delay = np.empty_like(band_pow)
+    delay[:] = decode[:, :, None]
+    # 2. global wordline out to the target bank
+    gwl_load = model._gwl_load
+    delay += (
+        0.69 * gwl_res[:, :, None] * (way_c_wire + gwl_load)
+        + 0.38 * way_r_wire * way_c_wire
+        + 0.69 * way_r_wire * gwl_load
+    )
+    # 3. local wordline across the bank
+    lwl_res = vdd / (
+        drive_coeff * (sizing.lwl_driver_width / band_lgate) * band_pow
+    )
+    lwl_r_wire = band_r * model._lwl_length
+    lwl_c_wire = band_c * model._lwl_length
+    cell_gates = model._cell_gates
+    delay += (
+        0.69 * lwl_res * (lwl_c_wire + cell_gates)
+        + 0.38 * lwl_r_wire * lwl_c_wire
+        + 0.69 * lwl_r_wire * cell_gates
+    )
+    # 4. precharge release and bitline discharge
+    bitline_cap = band_c * model._bitline_length + model._bitline_drains
+    delay += precharge_k[:, :, None] * (
+        bitline_cap * sram.PRECHARGE_SLEW_FRACTION
+    )
+    delay += (
+        bitline_cap
+        * tech.sense_swing
+        / (drive_coeff * (tech.cell_read_width / band_lgate) * band_pow)
+    )
+    # 5. sense amplification
+    delay += sense[:, :, None]
+    # 6. output drive and data return
+    delay += (
+        0.69 * out_res[:, :, None] * (way_c_wire + sizing.output_load_cap)
+        + 0.38 * way_r_wire * way_c_wire
+        + 0.69 * way_r_wire * sizing.output_load_cap
+    )
+    base_delays = delay * population.band_residuals
+
+    band_leakage = (
+        org.bits_per_bank
+        * (
+            model._leak_coeff
+            * (tech.cell_leak_width / band_lgate)
+            * _pow10_columns(-band_vt / model._swing)
+        )
+        * vdd
+    )
+
+    # --- peripheral leakage, in PERIPHERAL_SEGMENTS order (same
+    # left-to-right four-term sum as the reference)
+    peripheral = (
+        _subthreshold_leakage(
+            PERIPHERAL_LEAK_WIDTHS["decoder"], dec_lgate, dec_vt, model
+        )
+        + _subthreshold_leakage(
+            PERIPHERAL_LEAK_WIDTHS["precharge"], pre[..., _LGATE], pre_vt, model
+        )
+        + _subthreshold_leakage(
+            PERIPHERAL_LEAK_WIDTHS["senseamp"], sa[..., _LGATE], sa_vt, model
+        )
+        + _subthreshold_leakage(
+            PERIPHERAL_LEAK_WIDTHS["outdriver"], out[..., _LGATE], out_vt, model
+        )
+    )
+    return CircuitColumns(
+        chip_ids=population.chip_ids,
+        base_delays=base_delays,
+        band_leakage=band_leakage,
+        peripheral_leakage=peripheral,
+    )
+
+
+def materialize_results(
+    columns: CircuitColumns, delay_scale: float, hyapd: bool
+) -> List[CacheCircuitResult]:
+    """Columns -> per-chip :class:`CacheCircuitResult` list, one scale."""
+    delays = (columns.base_delays * delay_scale).tolist()
+    leakage = columns.band_leakage.tolist()
+    peripheral = columns.peripheral_leakage.tolist()
+    num_ways = columns.base_delays.shape[1]
+    ways_range = range(num_ways)
+    results = []
+    for index, chip_id in enumerate(columns.chip_ids):
+        chip_delays = delays[index]
+        chip_leakage = leakage[index]
+        chip_peripheral = peripheral[index]
+        results.append(
+            CacheCircuitResult(
+                chip_id,
+                tuple(
+                    WayCircuitResult(
+                        way,
+                        tuple(chip_delays[way]),
+                        tuple(chip_leakage[way]),
+                        chip_peripheral[way],
+                    )
+                    for way in ways_range
+                ),
+                hyapd,
+            )
+        )
+    return results
+
+
+def evaluate_population_pair(
+    regular_model: CacheCircuitModel,
+    hyapd_model: CacheCircuitModel,
+    population: ColumnarPopulation,
+) -> Tuple[List[CacheCircuitResult], List[CacheCircuitResult]]:
+    """Columnar mirror of :meth:`CacheCircuitModel.evaluate_pair`.
+
+    One bulk evaluation, materialised under both post-decoder scales.
+    The band-leakage tuples are shared between the two results, exactly
+    as the per-chip pair evaluation shares them.
+    """
+    if regular_model.hyapd or not hyapd_model.hyapd:
+        raise ConfigurationError(
+            "evaluate_population_pair expects (regular model, hyapd model)"
+        )
+    if (
+        hyapd_model.tech is not regular_model.tech
+        or hyapd_model.org is not regular_model.org
+        or hyapd_model.sizing is not regular_model.sizing
+    ):
+        raise ConfigurationError(
+            "evaluate_population_pair needs both models to share "
+            "tech/org/sizing"
+        )
+    columns = evaluate_population_columns(regular_model, population)
+    regular_scale = regular_model._delay_scale
+    hyapd_scale = hyapd_model._delay_scale
+    reg_delays = (columns.base_delays * regular_scale).tolist()
+    h_delays = (columns.base_delays * hyapd_scale).tolist()
+    leakage = columns.band_leakage.tolist()
+    peripheral = columns.peripheral_leakage.tolist()
+    num_ways = columns.base_delays.shape[1]
+    ways_range = range(num_ways)
+    regular: List[CacheCircuitResult] = []
+    horizontal: List[CacheCircuitResult] = []
+    for index, chip_id in enumerate(columns.chip_ids):
+        chip_reg = reg_delays[index]
+        chip_h = h_delays[index]
+        chip_leakage = [tuple(row) for row in leakage[index]]
+        chip_peripheral = peripheral[index]
+        regular.append(
+            CacheCircuitResult(
+                chip_id,
+                tuple(
+                    WayCircuitResult(
+                        way,
+                        tuple(chip_reg[way]),
+                        chip_leakage[way],
+                        chip_peripheral[way],
+                    )
+                    for way in ways_range
+                ),
+                False,
+            )
+        )
+        horizontal.append(
+            CacheCircuitResult(
+                chip_id,
+                tuple(
+                    WayCircuitResult(
+                        way,
+                        tuple(chip_h[way]),
+                        chip_leakage[way],
+                        chip_peripheral[way],
+                    )
+                    for way in ways_range
+                ),
+                True,
+            )
+        )
+    return regular, horizontal

@@ -18,6 +18,10 @@ Configuration comes from the environment (overridable per instance):
 * ``REPRO_CACHE`` — set to ``0`` to disable the persistent store.
 * ``REPRO_CACHE_MB`` — store size cap in MiB (default 512).
 * ``REPRO_JOB_TIMEOUT`` — seconds per pool job before retry (default 900).
+* ``REPRO_COLUMNAR`` — set to ``0`` to disable the columnar population
+  fast path (bit-identical either way; see
+  :mod:`repro.variation.columnar`). Worker processes inherit it, so the
+  switch governs serial and sharded dispatch alike.
 """
 
 from __future__ import annotations
@@ -266,8 +270,11 @@ class Engine:
             seed=settings.seed, count=settings.chips, policy=policy
         )
         jobs = self._population_jobs(settings.seed, settings.chips)
+        from repro.variation.columnar import columnar_enabled
+
         with trace_span(
             "engine.dispatch", kind="population", jobs=len(jobs),
+            columnar=columnar_enabled(),
             **self._dispatch_provenance(),
         ):
             shards = self._executor.run(

@@ -109,6 +109,32 @@ def _prepare_population(engine):
     return run
 
 
+def _prepare_population_path(value: str):
+    """Population benchmark with the columnar path forced on ("1") or
+    off ("0") via ``REPRO_COLUMNAR``, so one bench run reports both
+    paths side by side; the prior env value is restored on cleanup."""
+
+    def prepare(engine):
+        settings = _bench_settings(chips=64)
+        previous = os.environ.get("REPRO_COLUMNAR")
+        os.environ["REPRO_COLUMNAR"] = value
+
+        def run():
+            engine.clear_memory()
+            return engine.population(settings)
+
+        def cleanup():
+            if previous is None:
+                os.environ.pop("REPRO_COLUMNAR", None)
+            else:
+                os.environ["REPRO_COLUMNAR"] = previous
+
+        run.cleanup = cleanup
+        return run
+
+    return prepare
+
+
 def _prepare_store_roundtrip(engine):
     from repro.engine.store import ResultStore
 
@@ -225,6 +251,8 @@ def _prepare_serve_burst(engine):
 SUITES: Dict[str, List[Benchmark]] = {
     "engine": [
         Benchmark("engine.population", _prepare_population),
+        Benchmark("population.columnar", _prepare_population_path("1")),
+        Benchmark("population.reference", _prepare_population_path("0")),
         Benchmark("engine.store_roundtrip", _prepare_store_roundtrip),
     ],
     "pipeline": [

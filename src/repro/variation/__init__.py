@@ -11,6 +11,8 @@ from Friedberg et al. This subpackage reproduces that machinery:
 * :mod:`repro.variation.sampling` — hierarchical correlated sampling of a
   full cache (die -> way -> peripheral/array-band segments).
 * :mod:`repro.variation.montecarlo` — population-level Monte Carlo driver.
+* :mod:`repro.variation.columnar` — whole-population columnar sampling,
+  bit-identical to the per-chip sampler (the engine's fast path).
 """
 
 from repro.variation.parameters import (
@@ -32,6 +34,11 @@ from repro.variation.sampling import (
 )
 from repro.variation.montecarlo import MonteCarloEngine
 from repro.variation.gridmodel import GridCorrelationModel, GridVariationSampler
+from repro.variation.columnar import (
+    ColumnarPopulation,
+    ColumnarPopulationSampler,
+    columnar_enabled,
+)
 
 __all__ = [
     "PARAMETER_NAMES",
@@ -48,4 +55,7 @@ __all__ = [
     "MonteCarloEngine",
     "GridCorrelationModel",
     "GridVariationSampler",
+    "ColumnarPopulation",
+    "ColumnarPopulationSampler",
+    "columnar_enabled",
 ]

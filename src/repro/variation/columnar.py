@@ -1,0 +1,372 @@
+"""Columnar Monte Carlo population sampling.
+
+:class:`CacheVariationSampler` draws one chip at a time and materialises
+a tree of :class:`~repro.variation.parameters.ProcessParameters` /
+:class:`~repro.variation.sampling.WayVariation` tuples per chip — tens of
+small objects each, hundreds of thousands across a 2000-chip population.
+:class:`ColumnarPopulationSampler` draws the *same* population into a
+handful of preallocated NumPy arrays instead:
+
+* raw standard-normal draws are consumed chip by chip from the exact
+  ``spawn(seed, f"chip-{chip_id}")`` generators the per-chip sampler
+  uses, batch by batch in the exact order
+  :meth:`CacheVariationSampler.sample` consumes them (head batch:
+  die + band offsets; then per way: way vector + segments; then the
+  scalar residual loop, whose draw count is data-dependent and therefore
+  cannot be batched) — so every chip's stream position matches the
+  reference draw for draw,
+* the clip/offset/scale arithmetic — the mirror of ``_draw_around`` /
+  ``_draw_offsets`` — is then applied to the whole population at once as
+  elementwise array operations, which are bit-identical to the per-chip
+  arithmetic because each element goes through the same IEEE operations
+  in the same order.
+
+The result is a :class:`ColumnarPopulation`: ``(num_chips, num_ways,
+num_bands, num_params)``-shaped parameter arrays the columnar circuit
+model (:mod:`repro.circuit.columnar`) consumes directly. Bit-identity to
+the per-chip reference is asserted by ``tests/test_columnar_diff.py``
+over randomized geometries, correlation factors and seeds.
+
+``REPRO_COLUMNAR=0`` disables the columnar fast path engine-wide (see
+:func:`columnar_enabled`); the per-chip reference path is kept for
+differential testing and as the escape hatch.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from typing import NamedTuple, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.errors import ConfigurationError
+from repro.core.rng import spawn
+from repro.variation.parameters import PARAMETER_NAMES, ProcessParameters
+from repro.variation.sampling import (
+    CacheVariationMap,
+    CacheVariationSampler,
+    PERIPHERAL_SEGMENTS,
+    WayVariation,
+)
+
+__all__ = [
+    "ColumnarPopulation",
+    "ColumnarPopulationSampler",
+    "RawDraws",
+    "columnar_enabled",
+]
+
+_NUM_PARAMS = len(PARAMETER_NAMES)
+_NUM_PERI = len(PERIPHERAL_SEGMENTS)
+
+
+def columnar_enabled() -> bool:
+    """Is the columnar population fast path enabled?
+
+    On by default; ``REPRO_COLUMNAR=0`` forces every population through
+    the per-chip reference sampler and circuit model. Both paths are
+    bit-identical (the differential battery is the proof), so the switch
+    only trades speed — it exists so a suspected columnar bug can be
+    ruled out in one rerun.
+    """
+    return os.environ.get("REPRO_COLUMNAR", "1") != "0"
+
+
+class RawDraws(NamedTuple):
+    """Preallocated standard-normal/residual buffers for one population.
+
+    ``head_z`` holds each chip's die + band-offset batch, ``way_z`` the
+    per-way batches (way vector slot first, then the peripheral/band
+    segment slots; slots a zero correlation factor never draws stay
+    zero, which the finalize arithmetic multiplies by a zero scale), and
+    ``residuals`` the per-(way, band) delay residuals — drawn scalar
+    because their outlier draw is conditional on the preceding uniform.
+    """
+
+    head_z: np.ndarray  # (C, head_n)
+    way_z: np.ndarray  # (C, W, n + rest_n)
+    residuals: np.ndarray  # (C, W, B), ones when residuals are disabled
+
+
+class ColumnarPopulation(NamedTuple):
+    """One sampled population as parameter columns.
+
+    All arrays share the leading chip axis; the trailing axis is always
+    the five Table 1 parameters in :data:`PARAMETER_NAMES` order.
+    """
+
+    chip_ids: Tuple[int, ...]
+    die: np.ndarray  # (C, P)
+    way_params: np.ndarray  # (C, W, P)
+    peripherals: np.ndarray  # (C, W, S, P) in PERIPHERAL_SEGMENTS order
+    bands: np.ndarray  # (C, W, B, P)
+    band_residuals: np.ndarray  # (C, W, B)
+    has_residuals: bool
+
+    @property
+    def num_chips(self) -> int:
+        return self.die.shape[0]
+
+    @property
+    def num_ways(self) -> int:
+        return self.way_params.shape[1]
+
+    @property
+    def num_bands(self) -> int:
+        return self.bands.shape[2]
+
+    def chip_map(self, index: int) -> CacheVariationMap:
+        """Materialise chip ``index`` as a per-chip variation map.
+
+        Produces exactly what :meth:`CacheVariationSampler.sample_chip`
+        would have returned for the same chip — the differential tests
+        compare the two with ``==``.
+        """
+        if not 0 <= index < self.num_chips:
+            raise ConfigurationError(f"chip index {index} out of range")
+        die = ProcessParameters(*self.die[index].tolist())
+        ways = []
+        for way in range(self.num_ways):
+            peripherals = {
+                name: ProcessParameters(
+                    *self.peripherals[index, way, seg].tolist()
+                )
+                for seg, name in enumerate(PERIPHERAL_SEGMENTS)
+            }
+            bands = tuple(
+                ProcessParameters(*self.bands[index, way, band].tolist())
+                for band in range(self.num_bands)
+            )
+            residuals = (
+                tuple(self.band_residuals[index, way].tolist())
+                if self.has_residuals
+                else ()
+            )
+            ways.append(
+                WayVariation(
+                    way=way,
+                    params=ProcessParameters(
+                        *self.way_params[index, way].tolist()
+                    ),
+                    bands=bands,
+                    band_residuals=residuals,
+                    **peripherals,
+                )
+            )
+        return CacheVariationMap(
+            chip_id=self.chip_ids[index], die=die, ways=tuple(ways)
+        )
+
+
+class ColumnarPopulationSampler:
+    """Draws whole populations as columns, bit-identical per chip.
+
+    Wraps a configured :class:`CacheVariationSampler` and reuses its
+    precomputed scale/clip vectors, so any table / correlation-factor /
+    geometry configuration the per-chip sampler accepts is supported.
+
+    Parameters
+    ----------
+    sampler:
+        The reference sampler whose population this one reproduces.
+    """
+
+    def __init__(self, sampler: CacheVariationSampler) -> None:
+        self.sampler = sampler
+        self.num_ways = sampler.num_ways
+        self.num_bands = sampler.num_bands
+        factors = sampler.factors
+        n = _NUM_PARAMS
+        self._rest_n = (_NUM_PERI + self.num_bands) * n
+        # Head batch layout: die slot then band-offset slots; a zero
+        # factor removes its slot from the *drawn* batch (the reference
+        # skips the draw entirely) but keeps its zeroed buffer columns.
+        self._head_n = (n if factors.inter_die != 0.0 else 0) + (
+            self.num_bands * n if factors.band != 0.0 else 0
+        )
+        self._die_drawn = factors.inter_die != 0.0
+        self._band_drawn = factors.band != 0.0
+        row_drawn = factors.row != 0.0
+        self._way_counts = tuple(
+            (n if factor != 0.0 else 0) + (self._rest_n if row_drawn else 0)
+            for factor in sampler._way_factors
+        )
+        self._way_starts = tuple(
+            0 if factor != 0.0 else n for factor in sampler._way_factors
+        )
+        self._draw_residuals = (
+            sampler.path_residual_sigma > 0 or sampler.outlier_band_prob > 0
+        )
+
+    @property
+    def supported(self) -> bool:
+        """False for degenerate tables (a zero-sigma parameter), where
+        the reference itself falls back to per-parameter scalar draws."""
+        return self.sampler._vectorised
+
+    # ------------------------------------------------------------------
+    # per-chip stream consumption
+    # ------------------------------------------------------------------
+    def allocate(self, num_chips: int) -> RawDraws:
+        """Preallocate the draw buffers for ``num_chips`` chips."""
+        if num_chips < 0:
+            raise ConfigurationError("num_chips must be >= 0")
+        n = _NUM_PARAMS
+        return RawDraws(
+            head_z=np.zeros((num_chips, self._head_n)),
+            way_z=np.zeros((num_chips, self.num_ways, n + self._rest_n)),
+            residuals=np.ones(
+                (num_chips, self.num_ways, self.num_bands)
+            ),
+        )
+
+    def draw_chip(
+        self, rng: np.random.Generator, index: int, raw: RawDraws
+    ) -> None:
+        """Consume one chip's draws from ``rng`` into row ``index``.
+
+        The consumption order is the contract: head batch, then per way
+        a segment batch followed by the residual loop — exactly the
+        batches :meth:`CacheVariationSampler.sample` takes, so both
+        samplers leave ``rng`` at the same stream position (locked by
+        the stream-identity regression test).
+        """
+        standard_normal = rng.standard_normal
+        if self._head_n:
+            standard_normal(self._head_n, out=raw.head_z[index])
+        sampler = self.sampler
+        sigma = sampler.path_residual_sigma
+        prob = sampler.outlier_band_prob
+        mean = sampler._residual_mean
+        low, high = sampler.outlier_scale_range
+        span = high - low
+        # Same stream, same bits, faster scalar calls: Generator.lognormal
+        # is exp(mean + sigma * standard_normal()) and Generator.uniform
+        # is low + (high - low) * random() — the verbatim C definitions —
+        # so the cheap primitives reproduce the reference's draws exactly
+        # (locked by the stream-identity and differential tests).
+        random = rng.random
+        exp = math.exp
+        num_bands = self.num_bands
+        draw_residuals = self._draw_residuals
+        chip_z = raw.way_z[index]
+        chip_residuals = raw.residuals[index]
+        for way in range(self.num_ways):
+            count = self._way_counts[way]
+            if count:
+                start = self._way_starts[way]
+                standard_normal(count, out=chip_z[way, start : start + count])
+            if draw_residuals:
+                row = chip_residuals[way]
+                for band in range(num_bands):
+                    value = 1.0
+                    if sigma > 0:
+                        value = exp(mean + sigma * standard_normal())
+                    if prob > 0 and random() < prob:
+                        value *= low + span * random()
+                    row[band] = value
+
+    # ------------------------------------------------------------------
+    # whole-population arithmetic
+    # ------------------------------------------------------------------
+    def finalize(
+        self, chip_ids: Sequence[int], raw: RawDraws
+    ) -> ColumnarPopulation:
+        """Turn raw draws into clipped parameter columns, in bulk.
+
+        Mirrors the reference's fused arithmetic (`sample`) elementwise
+        over the whole population: scale the z batch, add the centre,
+        clip — same operations in the same order per element, so every
+        value is bit-identical to the per-chip computation. Slots whose
+        correlation factor is zero multiply a zeroed buffer by a zero
+        scale, which reproduces the reference's "skip the draw, keep the
+        centre" branch exactly (``x + 0.0 == x`` for the strictly
+        positive centres involved).
+        """
+        sampler = self.sampler
+        n = _NUM_PARAMS
+        num_chips = len(chip_ids)
+        num_ways = self.num_ways
+        num_bands = self.num_bands
+        low = sampler._clip_low
+        high = sampler._clip_high
+
+        # Die vectors: nominal + die_scale * z, clipped.
+        if self._die_drawn:
+            die = sampler._nominal_arr + sampler._die_scale * raw.head_z[:, :n]
+            band_z = raw.head_z[:, n:]
+        else:
+            die = np.broadcast_to(
+                sampler._nominal_arr, (num_chips, n)
+            ).copy()
+            band_z = raw.head_z
+        die = np.minimum(np.maximum(die, low), high)
+
+        # Shared band offsets (zero-mean, unclipped).
+        if self._band_drawn:
+            band_offsets = 0.0 + sampler._band_scale * band_z
+        else:
+            band_offsets = np.zeros((num_chips, num_bands * n))
+
+        # Way vectors: die + way_scale * z, clipped.
+        way_scales = np.array(sampler._way_scales)  # (W, n)
+        way_values = (
+            die[:, None, :] + way_scales[None, :, :] * raw.way_z[:, :, :n]
+        )
+        way_values = np.minimum(np.maximum(way_values, low), high)
+
+        # Segment vectors: way value (+ band offset for the band slots)
+        # + rest_scale * z, clipped against the tiled bounds.
+        rest_segments = _NUM_PERI + num_bands
+        centres = np.empty((num_chips, num_ways, rest_segments, n))
+        centres[:] = way_values[:, :, None, :]
+        centres[:, :, _NUM_PERI:, :] += band_offsets.reshape(
+            num_chips, 1, num_bands, n
+        )
+        rest_scale = sampler._rest_scale.reshape(rest_segments, n)
+        rest = centres + rest_scale * raw.way_z[:, :, n:].reshape(
+            num_chips, num_ways, rest_segments, n
+        )
+        rest = np.minimum(np.maximum(rest, low), high)
+
+        return ColumnarPopulation(
+            chip_ids=tuple(int(c) for c in chip_ids),
+            die=die,
+            way_params=way_values,
+            peripherals=rest[:, :, :_NUM_PERI, :],
+            bands=rest[:, :, _NUM_PERI:, :],
+            band_residuals=raw.residuals,
+            has_residuals=self._draw_residuals,
+        )
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def sample_population(
+        self, seed: int, chip_ids: Sequence[int]
+    ) -> ColumnarPopulation:
+        """Draw the chips ``chip_ids`` of experiment ``seed`` as columns.
+
+        Each chip's generator is ``spawn(seed, f"chip-{chip_id}")`` —
+        the per-chip sampler's spawn discipline — so any subset of ids,
+        in any order, reproduces exactly the chips the reference would
+        draw.
+        """
+        if not self.supported:
+            raise ConfigurationError(
+                "columnar sampling requires a table with positive sigmas "
+                "(the reference falls back to scalar draws)"
+            )
+        raw = self.allocate(len(chip_ids))
+        for index, chip_id in enumerate(chip_ids):
+            self.draw_chip(spawn(seed, f"chip-{chip_id}"), index, raw)
+        return self.finalize(chip_ids, raw)
+
+    def sample_range(
+        self, seed: int, start: int, stop: int
+    ) -> ColumnarPopulation:
+        """Draw chip ids ``[start, stop)`` (the population-shard shape)."""
+        if not 0 <= start <= stop:
+            raise ConfigurationError(f"invalid chip range [{start}, {stop})")
+        return self.sample_population(seed, range(start, stop))

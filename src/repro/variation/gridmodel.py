@@ -93,10 +93,22 @@ class GridCorrelationModel:
         return np.exp(-distance / self.correlation_length)
 
     def cholesky(self) -> np.ndarray:
-        """Cholesky factor of the (jittered) covariance."""
-        cov = self.covariance()
-        cov += np.eye(self.num_cells) * 1e-9
-        return np.linalg.cholesky(cov)
+        """Cholesky factor of the (jittered) covariance.
+
+        Factorised once per model instance: the covariance depends only
+        on the (frozen) geometry, and the O(cells^3) factorisation was
+        being recomputed on every call. Callers must not mutate the
+        returned array.
+        """
+        cached = self.__dict__.get("_chol_cache")
+        if cached is None:
+            cov = self.covariance()
+            cov += np.eye(self.num_cells) * 1e-9
+            cached = np.linalg.cholesky(cov)
+            # frozen dataclass: stash the cache without going through
+            # the blocked __setattr__
+            object.__setattr__(self, "_chol_cache", cached)
+        return cached
 
 
 class GridVariationSampler:

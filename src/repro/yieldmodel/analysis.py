@@ -22,14 +22,25 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.circuit.cache_model import CacheCircuitModel, CacheCircuitResult
+from repro.circuit.columnar import CircuitColumns, evaluate_population_pair
 from repro.circuit.organization import CacheOrganization, PAPER_ORGANIZATION
 from repro.circuit.technology import Technology, TECH45
 from repro.core.errors import ConfigurationError
 from repro.core.validation import require_positive
+from repro.variation.columnar import ColumnarPopulationSampler, columnar_enabled
 from repro.variation.montecarlo import PAPER_POPULATION
 from repro.variation.sampling import CacheVariationSampler
-from repro.yieldmodel.classify import ChipCase, LossReason
+from repro.yieldmodel.classify import (
+    ChipCase,
+    LossReason,
+    config_keys_columns,
+    loss_census_columns,
+    loss_codes_columns,
+    way_cycles_columns,
+)
 from repro.yieldmodel.constraints import (
     ConstraintPolicy,
     NOMINAL_POLICY,
@@ -39,7 +50,13 @@ from repro.yieldmodel.constraints import (
 if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
     from repro.schemes.base import RescueOutcome, Scheme
 
-__all__ = ["LossBreakdown", "PopulationResult", "YieldStudy"]
+__all__ = [
+    "LossBreakdown",
+    "PopulationResult",
+    "YieldStudy",
+    "ColumnarClassification",
+    "classify_population_columns",
+]
 
 #: Order in which loss reasons appear in the paper's tables. The 5-8 way
 #: buckets only occur for higher-associativity organisations; rows() hides
@@ -235,6 +252,79 @@ class PopulationResult:
         return [leak / mean for leak in leakages], delays
 
 
+@dataclass(frozen=True)
+class ColumnarClassification:
+    """Column-wise yield classification of one population.
+
+    The array counterpart of a list of :class:`ChipCase`\\ s: per-way
+    cycle counts, per-chip loss codes (see
+    :func:`~repro.yieldmodel.classify.loss_codes_columns`), and the
+    population delays/leakages the limits were held against. Every
+    derived number matches the per-case classification bit for bit
+    (asserted by the columnar differential battery).
+    """
+
+    constraints: YieldConstraints
+    way_cycles: np.ndarray  # (chips, ways) int
+    loss_codes: np.ndarray  # (chips,) int
+    access_delays: np.ndarray  # (chips,) float
+    total_leakages: np.ndarray  # (chips,) float
+
+    @property
+    def population(self) -> int:
+        return int(self.loss_codes.shape[0])
+
+    def loss_census(self) -> Dict[LossReason, int]:
+        """Failing chips per loss reason — ``LossBreakdown.base_counts``."""
+        return loss_census_columns(self.loss_codes)
+
+    def yield_fraction(self) -> float:
+        """Overall yield — ``LossBreakdown.yield_with(None)``."""
+        losses = int(np.count_nonzero(self.loss_codes))
+        return 1.0 - losses / self.population
+
+    def configuration_keys(self) -> List[str]:
+        """Per-chip Table 6 keys — ``ChipCase.configuration`` columns."""
+        return config_keys_columns(self.way_cycles)
+
+    def scatter(self) -> Tuple[List[float], List[float]]:
+        """Figure 8 data, identical to :meth:`PopulationResult.scatter`."""
+        leakages = self.total_leakages.tolist()
+        mean = sum(leakages) / len(leakages)
+        return [leak / mean for leak in leakages], self.access_delays.tolist()
+
+
+def classify_population_columns(
+    columns: CircuitColumns,
+    policy: ConstraintPolicy = NOMINAL_POLICY,
+    constraints: Optional[YieldConstraints] = None,
+    delay_scale: float = 1.0,
+) -> ColumnarClassification:
+    """Classify a whole evaluated population column-wise.
+
+    The column mirror of :meth:`YieldStudy.assemble` plus per-case
+    classification: derive limits with ``policy`` over these columns
+    (unless explicit ``constraints`` are given — pass the regular
+    architecture's limits when classifying H-YAPD columns, since both
+    architectures are held to the limits derived from the regular
+    population), then bucket every chip. The limit derivation feeds
+    ``policy.derive`` plain Python floats, so the limits equal the
+    per-case path's exactly.
+    """
+    way_delays = columns.way_delays(delay_scale)
+    access_delays = columns.access_delays(delay_scale)
+    leakages = columns.total_leakage()
+    if constraints is None:
+        constraints = policy.derive(access_delays.tolist(), leakages.tolist())
+    return ColumnarClassification(
+        constraints=constraints,
+        way_cycles=way_cycles_columns(way_delays, constraints),
+        loss_codes=loss_codes_columns(way_delays, leakages, constraints),
+        access_delays=access_delays,
+        total_leakages=leakages,
+    )
+
+
 @dataclass
 class YieldStudy:
     """End-to-end Monte Carlo yield study.
@@ -264,6 +354,27 @@ class YieldStudy:
     def __post_init__(self) -> None:
         require_positive(self.count, "count")
 
+    def _columnar_sampler(self) -> Optional[ColumnarPopulationSampler]:
+        """The columnar fast-path sampler, or None when unavailable.
+
+        The fast path requires the stock sampler type (a subclass could
+        override the draw procedure the columnar sampler mirrors) and a
+        non-degenerate table (see
+        :attr:`ColumnarPopulationSampler.supported`). Built lazily and
+        cached on the study; the ``REPRO_COLUMNAR`` switch is checked at
+        call time so flipping it between runs takes effect.
+        """
+        cached = self.__dict__.get("_columnar_cache", False)
+        if cached is not False:
+            return cached
+        columnar: Optional[ColumnarPopulationSampler] = None
+        if type(self.sampler) is CacheVariationSampler:
+            candidate = ColumnarPopulationSampler(self.sampler)
+            if candidate.supported:
+                columnar = candidate
+        self.__dict__["_columnar_cache"] = columnar
+        return columnar
+
     def evaluate_chips(
         self, start: int, stop: int
     ) -> Tuple[List["CacheCircuitResult"], List["CacheCircuitResult"]]:
@@ -273,6 +384,12 @@ class YieldStudy:
         is derived from ``(seed, chip_id)`` alone, so disjoint id ranges
         can be evaluated in any order — or in parallel processes — and
         concatenated into the exact serial population.
+
+        When the columnar fast path applies (stock sampler, positive
+        sigmas, ``REPRO_COLUMNAR`` not 0) the range is sampled and
+        evaluated as whole-population arrays instead of chip by chip —
+        same results bit for bit, so callers (and the engine's result
+        store) cannot tell the paths apart.
         """
         if not 0 <= start <= stop:
             raise ConfigurationError(
@@ -284,6 +401,13 @@ class YieldStudy:
         hyapd_model = CacheCircuitModel(
             tech=self.tech, org=self.organization, hyapd=True
         )
+        if columnar_enabled():
+            columnar = self._columnar_sampler()
+            if columnar is not None:
+                population = columnar.sample_range(self.seed, start, stop)
+                return evaluate_population_pair(
+                    regular_model, hyapd_model, population
+                )
         regular = []
         horizontal = []
         for chip_id in range(start, stop):

@@ -19,13 +19,27 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 from functools import cached_property
-from typing import Tuple
+from typing import Dict, List, Tuple
+
+import numpy as np
 
 from repro.circuit.cache_model import CacheCircuitResult
 from repro.core.errors import ConfigurationError
 from repro.yieldmodel.constraints import BASE_ACCESS_CYCLES, YieldConstraints
 
-__all__ = ["LossReason", "ChipCase", "config_key"]
+__all__ = [
+    "LossReason",
+    "ChipCase",
+    "config_key",
+    "LEAKAGE_CODE",
+    "PASS_CODE",
+    "way_cycles_columns",
+    "delay_violations_columns",
+    "loss_codes_columns",
+    "loss_reason_for_code",
+    "loss_census_columns",
+    "config_keys_columns",
+]
 
 #: VACA supports exactly one extra cycle (single-entry load-bypass buffers).
 VACA_MAX_CYCLES = BASE_ACCESS_CYCLES + 1
@@ -74,6 +88,108 @@ def config_key(way_cycles: Tuple[int, ...]) -> str:
     if n4 + n5 + n6 != len(way_cycles):
         raise ConfigurationError(f"unclassifiable way cycles {way_cycles}")
     return f"{n4}-{n5}-{n6}"
+
+
+# ----------------------------------------------------------------------
+# column-wise classification (the columnar population fast path)
+# ----------------------------------------------------------------------
+#: Loss code of a leakage-limited chip in :func:`loss_codes_columns`.
+LEAKAGE_CODE = -1
+#: Loss code of a passing chip; positive codes count delay-violating ways.
+PASS_CODE = 0
+
+
+def way_cycles_columns(
+    way_delays: np.ndarray, constraints: YieldConstraints
+) -> np.ndarray:
+    """Vectorised :meth:`YieldConstraints.cycles_for_delay`.
+
+    ``way_delays`` is a ``(chips, ways)`` array of per-way access delays;
+    the result holds each way's access-cycle count. Elementwise the
+    arithmetic is the scalar method's, so every entry equals the
+    per-chip classification bit for bit.
+    """
+    delays = np.asarray(way_delays, dtype=float)
+    if np.any(delays <= 0):
+        raise ConfigurationError("delay must be > 0")
+    slice_time = constraints.delay_limit / BASE_ACCESS_CYCLES
+    stretched = np.ceil(delays / slice_time - 1e-12).astype(np.int64)
+    return np.where(
+        delays <= constraints.delay_limit, BASE_ACCESS_CYCLES, stretched
+    )
+
+
+def delay_violations_columns(
+    way_delays: np.ndarray, constraints: YieldConstraints
+) -> np.ndarray:
+    """Boolean ``(chips, ways)`` mask of ways missing the 4-cycle latency.
+
+    Uses the delay limit directly (not the cycle count): a delay a hair
+    over the limit still rounds to 4 cycles under the reference's 1e-12
+    ceiling guard yet violates :meth:`YieldConstraints.meets_delay`,
+    exactly as :attr:`ChipCase.delay_violating_ways` sees it.
+    """
+    return np.asarray(way_delays, dtype=float) > constraints.delay_limit
+
+
+def loss_codes_columns(
+    way_delays: np.ndarray,
+    total_leakage: np.ndarray,
+    constraints: YieldConstraints,
+) -> np.ndarray:
+    """Per-chip loss codes over a population, as one ``(chips,)`` array.
+
+    ``LEAKAGE_CODE`` (-1) marks leakage-limited chips (taking precedence
+    over delay trouble, as in :attr:`ChipCase.loss_reason`), ``PASS_CODE``
+    (0) passing chips, and a positive code the number of delay-violating
+    ways.
+    """
+    violating = delay_violations_columns(way_delays, constraints).sum(axis=1)
+    leakage = np.asarray(total_leakage, dtype=float) > constraints.leakage_limit
+    return np.where(leakage, LEAKAGE_CODE, violating).astype(np.int64)
+
+
+def loss_reason_for_code(code: int) -> LossReason:
+    """The :class:`LossReason` a :func:`loss_codes_columns` code denotes."""
+    if code == LEAKAGE_CODE:
+        return LossReason.LEAKAGE
+    if code == PASS_CODE:
+        return LossReason.NONE
+    if code < 0:
+        raise ConfigurationError(f"unknown loss code {code}")
+    return LossReason.delay(int(code))
+
+
+def loss_census_columns(codes: np.ndarray) -> Dict[LossReason, int]:
+    """Count failing chips per loss reason from a loss-code column.
+
+    Matches the ``base_counts`` of :class:`LossBreakdown` (passing chips
+    are not counted; insertion order follows code order, which is how
+    the per-case loop encounters reasons only incidentally — compare by
+    content, not order).
+    """
+    codes = np.asarray(codes)
+    census: Dict[LossReason, int] = {}
+    values, counts = np.unique(codes, return_counts=True)
+    for value, count in zip(values.tolist(), counts.tolist()):
+        reason = loss_reason_for_code(value)
+        if reason.is_loss:
+            census[reason] = int(count)
+    return census
+
+
+def config_keys_columns(way_cycles: np.ndarray) -> List[str]:
+    """Table 6 configuration keys for a ``(chips, ways)`` cycle array."""
+    cycles = np.asarray(way_cycles)
+    n4 = (cycles == BASE_ACCESS_CYCLES).sum(axis=1)
+    n5 = (cycles == VACA_MAX_CYCLES).sum(axis=1)
+    n6 = (cycles > VACA_MAX_CYCLES).sum(axis=1)
+    if np.any(n4 + n5 + n6 != cycles.shape[1]):
+        raise ConfigurationError("unclassifiable way cycles in population")
+    return [
+        f"{a}-{b}-{c}"
+        for a, b, c in zip(n4.tolist(), n5.tolist(), n6.tolist())
+    ]
 
 
 @dataclass(frozen=True)

@@ -272,7 +272,10 @@ class TestHarness:
     def test_engine_suite_produces_timed_results(self):
         results = run_suite("engine", repeats=2, warmup=0)
         assert [r.bench for r in results] == [
-            "engine.population", "engine.store_roundtrip"
+            "engine.population",
+            "population.columnar",
+            "population.reference",
+            "engine.store_roundtrip",
         ]
         for result in results:
             assert len(result.samples) == 2
@@ -361,7 +364,7 @@ class TestBenchCli:
         assert history.is_file()
         records, skipped = load_history(history)
         assert skipped == 0
-        assert len(records) == 4  # 2 runs x 2 benchmarks
+        assert len(records) == 8  # 2 runs x 4 benchmarks
         assert len(run_ids(records)) == 2
         assert all(r["provenance"]["python"] for r in records)
         assert (tmp_path / "BENCH_engine.json").is_file()

@@ -35,6 +35,31 @@ class TestGridCorrelationModel:
         with pytest.raises(ConfigurationError):
             GridCorrelationModel(intra_fraction=1.5)
 
+    def test_cholesky_cached_per_instance(self):
+        """The O(cells^3) factorisation runs once per model geometry."""
+        model = GridCorrelationModel(rows=6, cols=6)
+        assert model.cholesky() is model.cholesky()
+
+    def test_cholesky_factorises_once_across_samplers(self, monkeypatch):
+        calls = []
+        real = np.linalg.cholesky
+
+        def counting(matrix):
+            calls.append(matrix.shape)
+            return real(matrix)
+
+        monkeypatch.setattr(np.linalg, "cholesky", counting)
+        model = GridCorrelationModel(rows=4, cols=4)
+        GridVariationSampler(model=model)
+        GridVariationSampler(model=model)
+        assert len(calls) == 1
+
+    def test_cached_factor_still_correct(self):
+        model = GridCorrelationModel(rows=4, cols=4)
+        model.cholesky()  # prime the cache
+        chol = model.cholesky()
+        assert np.allclose(chol @ chol.T, model.covariance(), atol=1e-6)
+
 
 class TestGridVariationSampler:
     def test_map_shape_matches_hierarchical(self):

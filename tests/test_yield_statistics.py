@@ -6,13 +6,29 @@ from hypothesis import given, settings as hsettings, strategies as st
 
 from repro.core.errors import ConfigurationError
 from repro.schemes import Hybrid, YAPD
+from repro.schemes.base import RescueOutcome
 from repro.yieldmodel import YieldStudy
+from repro.yieldmodel.analysis import PopulationResult
 from repro.yieldmodel.statistics import (
     bootstrap_interval,
+    bootstrap_replicates,
     loss_reduction_interval,
     scheme_yield_interval,
     wilson_interval,
 )
+
+from tests.conftest import make_chip
+
+
+class _NeverSaves:
+    """A scheme that rescues nothing (edge-case populations)."""
+
+    name = "NeverSaves"
+
+    def rescue(self, case) -> RescueOutcome:
+        return RescueOutcome(
+            scheme=self.name, saved=False, configuration=case.configuration
+        )
 
 
 class TestWilson:
@@ -72,6 +88,60 @@ class TestBootstrap:
     def test_rejects_empty(self):
         with pytest.raises(ConfigurationError):
             bootstrap_interval([])
+
+
+class TestEdgeCases:
+    """Empty, all-failing and single-chip populations."""
+
+    def test_wilson_rejects_empty_population(self):
+        with pytest.raises(ConfigurationError):
+            wilson_interval(0, 0)
+
+    def test_wilson_single_chip(self):
+        low, high = wilson_interval(1, 1)
+        assert low < 1.0
+        assert high == 1.0
+        low, high = wilson_interval(0, 1)
+        assert low == 0.0
+        assert high > 0.0
+
+    def test_bootstrap_rejects_empty_values(self):
+        with pytest.raises(ConfigurationError):
+            bootstrap_replicates([])
+
+    def test_bootstrap_rejects_bad_resamples_and_start(self):
+        with pytest.raises(ConfigurationError):
+            bootstrap_replicates([1.0], resamples=0)
+        with pytest.raises(ConfigurationError):
+            bootstrap_replicates([1.0], start=-1)
+
+    def test_bootstrap_single_value_is_degenerate(self):
+        stats = bootstrap_replicates([2.5], resamples=50)
+        assert np.all(stats == 2.5)
+        low, high = bootstrap_interval([2.5], resamples=50)
+        assert low == high == 2.5
+
+    def test_all_failing_population(self):
+        """Every chip fails and no scheme saves any: yield interval hugs
+        zero, loss reduction hugs zero."""
+        chips = [make_chip([2.0, 2.0, 2.0, 2.0]) for _ in range(30)]
+        pop = PopulationResult(
+            constraints=chips[0].constraints, cases=chips, h_cases=chips
+        )
+        scheme = _NeverSaves()
+        low, high = scheme_yield_interval(pop, scheme)
+        assert low == 0.0
+        assert high < 0.2
+        low, high = loss_reduction_interval(pop, scheme, resamples=100)
+        assert low == high == 0.0
+
+    def test_loss_reduction_rejects_no_failures(self):
+        chips = [make_chip([0.9, 0.9, 0.9, 0.9]) for _ in range(5)]
+        pop = PopulationResult(
+            constraints=chips[0].constraints, cases=chips, h_cases=chips
+        )
+        with pytest.raises(ConfigurationError):
+            loss_reduction_interval(pop, _NeverSaves())
 
 
 class TestPopulationIntervals:
