@@ -270,6 +270,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", type=pathlib.Path, default=None,
         help="write JSONL trace spans (one serve.request span per request)",
     )
+    serve_parser.add_argument(
+        "--log-requests", type=pathlib.Path, default=None, metavar="FILE",
+        help="append one JSONL line per finished request to FILE",
+    )
+    serve_parser.add_argument(
+        "--window", type=float, default=10.0, metavar="SECONDS",
+        help="width of one rolling-SLO window on /metrics (default 10)",
+    )
+    serve_parser.add_argument(
+        "--window-count", type=int, default=6, metavar="N",
+        help="windows retained in the rolling ring (default 6)",
+    )
+    serve_parser.add_argument(
+        "--no-dashboard", dest="dashboard", action="store_false",
+        help="do not serve the live HTML dashboard at /dashboard",
+    )
     return parser
 
 
@@ -642,6 +658,7 @@ def _bench_report_command(args: argparse.Namespace) -> int:
 
 
 def _serve_command(args: argparse.Namespace) -> int:
+    from repro.core.errors import ConfigurationError
     from repro.serve.server import ServeConfig, run_server
 
     if args.trace is not None:
@@ -649,6 +666,10 @@ def _serve_command(args: argparse.Namespace) -> int:
         configure_tracing(args.trace)
     if args.workers is not None:
         configure_engine(workers=args.workers)
+    if args.window <= 0:
+        raise ConfigurationError("--window must be positive")
+    if args.window_count < 1:
+        raise ConfigurationError("--window-count must be >= 1")
     config = ServeConfig(
         host=args.host,
         port=args.port,
@@ -657,6 +678,12 @@ def _serve_command(args: argparse.Namespace) -> int:
         max_per_client=args.max_per_client,
         batch_window=args.batch_window,
         drain_timeout=args.drain_timeout,
+        window_seconds=args.window,
+        window_count=args.window_count,
+        request_log=(
+            str(args.log_requests) if args.log_requests is not None else None
+        ),
+        dashboard=args.dashboard,
     )
 
     def announce(server) -> None:
@@ -670,6 +697,13 @@ def _serve_command(args: argparse.Namespace) -> int:
             f"max-queued {config.max_queued}",
             flush=True,
         )
+        if config.dashboard:
+            print(
+                f"  dashboard http://{server.host}:{server.port}/dashboard",
+                flush=True,
+            )
+        if config.request_log:
+            print(f"  request log {config.request_log}", flush=True)
 
     try:
         run_server(config, engine=get_engine(), announce=announce)

@@ -251,12 +251,40 @@ class Engine:
             cached = self._lookup("population", key, decode_population)
             if cached is not None:
                 sp.set(source="cache")
+                self._emit_estimator_gauges(cached)
                 return cached
             sp.set(source="computed")
             with self.stats.stage("population"):
                 result = self._compute_population(settings, policy, progress)
             self._settle("population", key, result, encode_population)
+        self._emit_estimator_gauges(result)
         return result
+
+    def _emit_estimator_gauges(self, result) -> None:
+        """Base-yield estimate + Wilson CI half-width + sample count.
+
+        Published per architecture into the engine registry, so a serve
+        deployment surfaces estimator quality on /metrics for plain
+        population queries too (scheme-level gauges come from
+        :meth:`PopulationResult.breakdown`).
+        """
+        from repro.yieldmodel.statistics import wilson_interval
+
+        for arch, cases in (
+            ("regular", result.cases), ("horizontal", result.h_cases)
+        ):
+            total = len(cases)
+            if total <= 0:
+                continue
+            ships = sum(1 for case in cases if case.passes)
+            low, high = wilson_interval(ships, total)
+            self.metrics.gauge(f"yield.estimate.{arch}.base").set(
+                ships / total
+            )
+            self.metrics.gauge(f"yield.ci_halfwidth.{arch}.base").set(
+                (high - low) / 2.0
+            )
+            self.metrics.gauge(f"yield.samples.{arch}.base").set(total)
 
     def _compute_population(
         self,
@@ -426,11 +454,13 @@ class Engine:
             future = Future()
             self._inflight[key] = future
             self.metrics.counter(f"engine.inflight.leader.{kind}").inc()
+            self.metrics.gauge("engine.inflight").set(len(self._inflight))
             return future, True
 
     def _finish(self, key: str, future: Future, result, error) -> None:
         with self._inflight_lock:
             self._inflight.pop(key, None)
+            self.metrics.gauge("engine.inflight").set(len(self._inflight))
         if error is not None:
             future.set_exception(error)
         else:

@@ -18,6 +18,14 @@ On top of those primitives sits the perf-regression layer:
 (self-contained HTML trend reports and trace flamegraphs), surfaced as
 ``repro bench run|compare|report`` and ``repro trace flamegraph``.
 
+The live-serving layer adds :mod:`repro.obs.rollup` (rolling-window
+SLO aggregation with streaming quantile sketches),
+:mod:`repro.obs.promtext` (Prometheus text exposition + strict parser),
+:mod:`repro.obs.reqlog` (JSONL request logs, request ids and the
+bounded span ring behind ``GET /debug/traces``) and
+:mod:`repro.obs.dashboard` (the self-contained live HTML page at
+``GET /dashboard``).
+
 See :mod:`repro.obs.trace`, :mod:`repro.obs.metrics`,
 :mod:`repro.obs.summary`, :mod:`repro.obs.provenance`,
 :mod:`repro.obs.sampler`, :mod:`repro.obs.bench`,
@@ -38,6 +46,10 @@ from repro.obs.provenance import (
     provenance_stamp,
     working_tree_dirty,
 )
+from repro.obs.promtext import (
+    parse_exposition,
+    render_exposition,
+)
 from repro.obs.regress import (
     IMPROVED,
     NEUTRAL,
@@ -46,6 +58,8 @@ from repro.obs.regress import (
     classify,
     compare_runs,
 )
+from repro.obs.reqlog import RequestLog, SpanRing, new_request_id
+from repro.obs.rollup import QuantileSketch, RequestRollup
 from repro.obs.sampler import ResourceSampler
 from repro.obs.summary import (
     load_spans,
@@ -72,9 +86,13 @@ __all__ = [
     "IMPROVED",
     "MetricsRegistry",
     "NEUTRAL",
+    "QuantileSketch",
     "REGRESSED",
+    "RequestLog",
+    "RequestRollup",
     "ResourceSampler",
     "Span",
+    "SpanRing",
     "Tracer",
     "classify",
     "compare_runs",
@@ -86,7 +104,10 @@ __all__ = [
     "git_revision",
     "load_spans",
     "load_spans_counted",
+    "new_request_id",
+    "parse_exposition",
     "provenance_stamp",
+    "render_exposition",
     "render_summary",
     "reset_metrics",
     "span",

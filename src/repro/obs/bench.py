@@ -337,17 +337,55 @@ def run_suite(
             if cleanup is not None:
                 cleanup()
         snapshot = engine.metrics.snapshot()
+        metrics: Dict[str, object] = {"counters": snapshot["counters"]}
+        # Engine gauges lead; breakdown-level estimates land in the
+        # process-wide registry (scheme benches publish there).
+        estimator = _estimator_snapshot(
+            {**get_metrics().snapshot()["gauges"], **snapshot["gauges"]}
+        )
+        if estimator:
+            metrics["estimator"] = estimator
         results.append(
             BenchResult(
                 suite=suite,
                 bench=benchmark.name,
                 samples=samples,
                 warmup=warmup,
-                metrics={"counters": snapshot["counters"]},
+                metrics=metrics,
             )
         )
         engine.metrics.reset()
     return results
+
+
+def _estimator_snapshot(gauges: Dict[str, float]) -> Dict[str, object]:
+    """Statistical-efficiency readout from the ``yield.*`` gauges.
+
+    For every published estimate: the point value, the 95% CI
+    half-width, the sample count, and ``samples_per_ci_width`` — how
+    many Monte Carlo chips bought one unit of interval width (higher is
+    costlier; a smarter estimator drives it down). Recorded into the
+    bench history so estimator efficiency trends alongside wall-clock.
+    """
+    out: Dict[str, object] = {}
+    for name, value in gauges.items():
+        if not name.startswith("yield.estimate."):
+            continue
+        key = name[len("yield.estimate."):]
+        half = gauges.get(f"yield.ci_halfwidth.{key}")
+        samples = gauges.get(f"yield.samples.{key}")
+        if half is None or samples is None:
+            continue
+        width = 2.0 * float(half)
+        out[key] = {
+            "estimate": round(float(value), 6),
+            "ci_halfwidth": round(float(half), 6),
+            "samples": int(samples),
+            "samples_per_ci_width": (
+                round(float(samples) / width, 3) if width > 0 else None
+            ),
+        }
+    return out
 
 
 def _resource_snapshot() -> Dict[str, float]:

@@ -1,0 +1,360 @@
+"""Prometheus text exposition (format 0.0.4) over the metrics substrate.
+
+Renders a :class:`~repro.obs.metrics.MetricsRegistry` snapshot — plus
+the serve layer's :class:`~repro.obs.rollup.RequestRollup` windowed
+summaries — as the plain-text format every Prometheus-compatible scraper
+understands, with no third-party client library:
+
+* counters become ``repro_<name>_total`` with a ``# TYPE ... counter``
+  header;
+* gauges become ``repro_<name>``;
+* histograms become the full ``_bucket``/``_sum``/``_count`` family with
+  **cumulative** ``le`` buckets ending in ``+Inf`` (the registry stores
+  per-bucket counts, so the cumulation happens here);
+* rollup summaries become ``repro_serve_latency_seconds`` with
+  ``{endpoint,quantile}`` labels plus windowed request/rate/status
+  gauges.
+
+The module also ships :func:`parse_exposition`, a deliberately strict
+parser used by the golden-format tests and the CI smoke job: it rejects
+malformed names, duplicate samples, samples without a preceding ``TYPE``
+line and non-float values — if our own parser accepts the output, a real
+scraper will too (the reverse is not guaranteed, hence the strictness).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "metric_name",
+    "render_exposition",
+    "parse_exposition",
+    "CONTENT_TYPE",
+]
+
+#: The content type Prometheus scrapers expect from /metrics.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Everything outside this set collapses to '_' in a metric name.
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: Valid exposition metric name (the parser enforces it).
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+#: One sample line: name, optional {labels}, value.
+_SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(\S+)$"
+)
+
+#: One label inside a label set: name="escaped value".
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def metric_name(name: str, prefix: str = "repro") -> str:
+    """Sanitize a dotted registry name into an exposition name."""
+    flat = _NAME_OK.sub("_", name.replace(".", "_"))
+    if prefix:
+        flat = f"{prefix}_{flat}"
+    if flat[0].isdigit():
+        flat = "_" + flat
+    return flat
+
+
+def _escape_label(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _fmt(value: float) -> str:
+    value = float(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _labels(pairs: Dict[str, object]) -> str:
+    if not pairs:
+        return ""
+    inner = ",".join(
+        f'{key}="{_escape_label(value)}"' for key, value in pairs.items()
+    )
+    return "{" + inner + "}"
+
+
+class _Writer:
+    """Accumulates families; guards against duplicate sample names."""
+
+    def __init__(self) -> None:
+        self.lines: List[str] = []
+        self._seen_families: set = set()
+
+    def family(
+        self, name: str, kind: str, help_text: str,
+        samples: Sequence[Tuple[str, Dict[str, object], float]],
+    ) -> None:
+        """Emit one metric family: HELP/TYPE then its samples.
+
+        ``samples`` entries are ``(suffix, labels, value)``; the suffix
+        ("_bucket", "_sum", ...) is empty for plain counters/gauges.
+        """
+        if name in self._seen_families:
+            return  # first writer wins (engine registry over process)
+        self._seen_families.add(name)
+        self.lines.append(f"# HELP {name} {help_text}")
+        self.lines.append(f"# TYPE {name} {kind}")
+        for suffix, labels, value in samples:
+            self.lines.append(
+                f"{name}{suffix}{_labels(labels)} {_fmt(value)}"
+            )
+
+    def text(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+
+def _render_registry_snapshot(
+    writer: _Writer, snapshot: Dict[str, object], source: str
+) -> None:
+    for name, value in snapshot.get("counters", {}).items():
+        flat = metric_name(name)
+        if not flat.endswith("_total"):
+            flat += "_total"
+        writer.family(
+            flat, "counter", f"{name} ({source} registry counter)",
+            [("", {}, float(value))],
+        )
+    for name, value in snapshot.get("gauges", {}).items():
+        writer.family(
+            metric_name(name), "gauge", f"{name} ({source} registry gauge)",
+            [("", {}, float(value))],
+        )
+    for name, hist in snapshot.get("histograms", {}).items():
+        flat = metric_name(name)
+        samples: List[Tuple[str, Dict[str, object], float]] = []
+        cumulative = 0
+        for bound_key, count in hist.get("buckets", {}).items():
+            cumulative += int(count)
+            # snapshot keys look like "le_0.05"
+            bound = bound_key.split("_", 1)[1]
+            samples.append(("_bucket", {"le": bound}, float(cumulative)))
+        samples.append(("_bucket", {"le": "+Inf"}, float(hist["count"])))
+        samples.append(("_sum", {}, float(hist["sum"])))
+        samples.append(("_count", {}, float(hist["count"])))
+        writer.family(
+            flat, "histogram", f"{name} ({source} registry histogram)",
+            samples,
+        )
+
+
+def _render_rollup(writer: _Writer, rollup: Dict[str, object]) -> None:
+    endpoints: Dict[str, Dict[str, object]] = dict(
+        rollup.get("endpoints", {})
+    )
+    span = float(rollup.get("span_seconds", 0.0))
+    latency: List[Tuple[str, Dict[str, object], float]] = []
+    requests: List[Tuple[str, Dict[str, object], float]] = []
+    rates: List[Tuple[str, Dict[str, object], float]] = []
+    statuses: List[Tuple[str, Dict[str, object], float]] = []
+    dispositions: List[Tuple[str, Dict[str, object], float]] = []
+    errors: List[Tuple[str, Dict[str, object], float]] = []
+    for endpoint, summary in endpoints.items():
+        base = {"endpoint": endpoint}
+        for q, value in summary.get("quantiles", {}).items():
+            latency.append(
+                ("", {"endpoint": endpoint, "quantile": q}, float(value))
+            )
+        latency.append(
+            ("_sum", dict(base),
+             float(summary["mean"]) * float(summary["count"]))
+        )
+        latency.append(("_count", dict(base), float(summary["count"])))
+        requests.append(("", dict(base), float(summary["count"])))
+        rates.append(("", dict(base), float(summary["rate"])))
+        errors.append(("", dict(base), float(summary["error_rate"])))
+        for status, count in summary.get("statuses", {}).items():
+            statuses.append(
+                ("", {"endpoint": endpoint, "class": status}, float(count))
+            )
+        for flag, count in summary.get("dispositions", {}).items():
+            dispositions.append(
+                ("", {"endpoint": endpoint, "kind": flag}, float(count))
+            )
+    writer.family(
+        "repro_serve_latency_seconds", "summary",
+        f"request latency quantiles over the last {span:g}s window",
+        latency,
+    )
+    writer.family(
+        "repro_serve_window_requests", "gauge",
+        f"requests finished in the last {span:g}s, per endpoint", requests,
+    )
+    writer.family(
+        "repro_serve_window_rate", "gauge",
+        "windowed request rate per second, per endpoint", rates,
+    )
+    writer.family(
+        "repro_serve_window_error_rate", "gauge",
+        "windowed 4xx+5xx share of responses, per endpoint", errors,
+    )
+    writer.family(
+        "repro_serve_window_responses", "gauge",
+        "windowed responses per status class, per endpoint", statuses,
+    )
+    writer.family(
+        "repro_serve_window_disposition", "gauge",
+        "windowed warm/cold/coalesced/batched request counts", dispositions,
+    )
+
+
+def render_exposition(
+    registry_snapshots: Sequence[Tuple[str, Dict[str, object]]],
+    rollup: Optional[Dict[str, object]] = None,
+    extra_gauges: Optional[Dict[str, float]] = None,
+) -> str:
+    """Render the whole exposition page.
+
+    ``registry_snapshots`` is an ordered list of ``(source_label,
+    registry.snapshot())`` pairs; when two registries carry the same
+    instrument name (the serve engine registry and the process-wide one
+    can both hold ``proc.*`` gauges) the **first** one wins, keeping the
+    page free of duplicate samples. ``extra_gauges`` are pre-sanitized
+    one-off values (server uptime, draining flag).
+    """
+    writer = _Writer()
+    if extra_gauges:
+        for name, value in extra_gauges.items():
+            writer.family(
+                metric_name(name), "gauge", f"{name} (server gauge)",
+                [("", {}, float(value))],
+            )
+    if rollup is not None:
+        _render_rollup(writer, rollup)
+    for source, snapshot in registry_snapshots:
+        _render_registry_snapshot(writer, snapshot, source)
+    return writer.text()
+
+
+# ----------------------------------------------------------------------
+# strict parsing (tests, CI smoke)
+# ----------------------------------------------------------------------
+def _parse_value(raw: str) -> float:
+    if raw == "+Inf":
+        return float("inf")
+    if raw == "-Inf":
+        return float("-inf")
+    if raw == "NaN":
+        return float("nan")
+    return float(raw)  # raises ValueError on garbage
+
+
+def parse_exposition(
+    text: str,
+) -> Dict[str, Dict[str, object]]:
+    """Strictly parse exposition text into families.
+
+    Returns ``{family_name: {"type": ..., "samples": [(sample_name,
+    labels_dict, value), ...]}}``. Raises :class:`ValueError` on any
+    deviation: unknown line shapes, samples before their TYPE header,
+    invalid names, duplicate (name, labels) samples, unparsable values.
+    """
+    families: Dict[str, Dict[str, object]] = {}
+    seen_samples: set = set()
+    current: Optional[str] = None
+
+    def family_of(sample_name: str) -> Optional[str]:
+        for suffix in ("_bucket", "_sum", "_count", "_total", ""):
+            if suffix and sample_name.endswith(suffix):
+                base = sample_name[: -len(suffix)] if suffix else sample_name
+                if base in families or sample_name in families:
+                    return sample_name if sample_name in families else base
+        return sample_name if sample_name in families else None
+
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(None, 3)
+            if len(parts) != 4:
+                raise ValueError(f"line {lineno}: malformed TYPE line")
+            _, _, name, kind = parts
+            if not _NAME_RE.match(name):
+                raise ValueError(f"line {lineno}: invalid family name {name!r}")
+            if kind not in ("counter", "gauge", "histogram", "summary",
+                            "untyped"):
+                raise ValueError(f"line {lineno}: unknown type {kind!r}")
+            if name in families:
+                raise ValueError(f"line {lineno}: duplicate family {name!r}")
+            families[name] = {"type": kind, "samples": []}
+            current = name
+            continue
+        if line.startswith("#"):
+            raise ValueError(f"line {lineno}: unknown comment {line!r}")
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            raise ValueError(f"line {lineno}: malformed sample {line!r}")
+        sample_name, label_blob, raw_value = match.groups()
+        family = family_of(sample_name)
+        if family is None or current is None:
+            raise ValueError(
+                f"line {lineno}: sample {sample_name!r} has no TYPE header"
+            )
+        labels: Dict[str, str] = {}
+        if label_blob:
+            inner = label_blob[1:-1]
+            matched = _LABEL_RE.findall(inner)
+            rebuilt = ",".join(f'{k}="{v}"' for k, v in matched)
+            if rebuilt != inner:
+                raise ValueError(f"line {lineno}: malformed labels {label_blob!r}")
+            for key, value in matched:
+                labels[key] = (
+                    value.replace('\\"', '"')
+                    .replace("\\n", "\n")
+                    .replace("\\\\", "\\")
+                )
+        try:
+            value = _parse_value(raw_value)
+        except ValueError:
+            raise ValueError(
+                f"line {lineno}: unparsable value {raw_value!r}"
+            ) from None
+        dedup_key = (sample_name, tuple(sorted(labels.items())))
+        if dedup_key in seen_samples:
+            raise ValueError(f"line {lineno}: duplicate sample {dedup_key!r}")
+        seen_samples.add(dedup_key)
+        families[family]["samples"].append((sample_name, labels, value))
+
+    # Histogram invariants: buckets cumulative, +Inf equals _count.
+    for name, family in families.items():
+        if family["type"] != "histogram":
+            continue
+        buckets = [
+            (labels, value)
+            for sample_name, labels, value in family["samples"]
+            if sample_name == f"{name}_bucket"
+        ]
+        previous = 0.0
+        for labels, value in buckets:
+            if "le" not in labels:
+                raise ValueError(f"{name}: bucket sample without le label")
+            if value < previous:
+                raise ValueError(f"{name}: buckets are not cumulative")
+            previous = value
+        counts = [
+            value for sample_name, _, value in family["samples"]
+            if sample_name == f"{name}_count"
+        ]
+        if buckets and counts and buckets[-1][1] != counts[0]:
+            raise ValueError(f"{name}: +Inf bucket != count")
+    return families

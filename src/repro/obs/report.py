@@ -30,6 +30,8 @@ __all__ = [
     "bench_report_html",
     "render_bench_report",
     "render_flamegraph",
+    "sparkline_svg",
+    "html_document",
 ]
 
 _STYLE = """
@@ -49,19 +51,39 @@ th { background: #eee; }
 """
 
 
-def _document(title: str, body: str) -> str:
+def _document(title: str, body: str, head_extra: str = "") -> str:
     return (
         "<!DOCTYPE html>\n"
         '<html lang="en"><head><meta charset="utf-8">\n'
         f"<title>{html.escape(title)}</title>\n"
-        f"<style>{_STYLE}</style>\n"
+        f"<style>{_STYLE}</style>\n{head_extra}"
         f"</head><body>\n<h1>{html.escape(title)}</h1>\n{body}\n</body></html>\n"
     )
+
+
+def html_document(title: str, body: str, head_extra: str = "") -> str:
+    """Public wrapper over the shared self-contained document shell.
+
+    ``head_extra`` lets callers (the live dashboard) add inline
+    ``<style>``/``<script>`` blocks — never external references.
+    """
+    return _document(title, body, head_extra)
 
 
 # ----------------------------------------------------------------------
 # bench trend report
 # ----------------------------------------------------------------------
+def sparkline_svg(
+    values: Sequence[float], width: int = 180, height: int = 36
+) -> str:
+    """Inline-SVG polyline of ``values`` (chronological, left to right).
+
+    Shared by the bench trend report and the live serve dashboard — one
+    sparkline idiom everywhere, zero network references.
+    """
+    return _sparkline(values, width, height)
+
+
 def _sparkline(values: Sequence[float], width: int = 180, height: int = 36) -> str:
     """Inline-SVG polyline of ``values`` (chronological, left to right)."""
     if not values:

@@ -19,6 +19,7 @@ serialization point.
 from __future__ import annotations
 
 import asyncio
+import time
 from collections import OrderedDict, deque
 from typing import Deque, Dict, Optional
 
@@ -109,6 +110,7 @@ class AdmissionController:
         self._waiters.setdefault(client, deque()).append(waiter)
         self.queued += 1
         self._gauges()
+        enqueued = time.perf_counter()
         try:
             await waiter
         except asyncio.CancelledError:
@@ -126,6 +128,9 @@ class AdmissionController:
             self._gauges()
             raise
         self._count("serve.admit.accepted")
+        self.registry.histogram("serve.queue_wait_seconds").observe(
+            time.perf_counter() - enqueued
+        )
         self._gauges()
 
     def release(self) -> None:

@@ -80,6 +80,7 @@ class SimulationBatcher:
         future: asyncio.Future = loop.create_future()
         bucket.entries.append((spec, future, progress))
         self._pending += 1
+        self.registry.gauge("serve.batch.pending").set(self._pending)
         if len(bucket.entries) >= self.max_batch:
             self._flush(key)
         elif bucket.handle is None:
@@ -88,6 +89,7 @@ class SimulationBatcher:
             return await future
         finally:
             self._pending -= 1
+            self.registry.gauge("serve.batch.pending").set(self._pending)
 
     async def flush_all(self) -> None:
         """Dispatch every waiting bucket now (drain path)."""
@@ -117,6 +119,11 @@ class SimulationBatcher:
         self.registry.histogram(
             "serve.batch.size", bounds=(1, 2, 4, 8, 16, 32, 64, 128)
         ).observe(len(specs))
+        # How full the last dispatched batch was relative to max_batch —
+        # a live proxy for whether the window is catching bursts.
+        self.registry.gauge("serve.batch.fill_ratio").set(
+            len(specs) / self.max_batch
+        )
         futures = self.engine.submit_simulations(
             bucket.settings, specs, progress=progress if callbacks else None
         )

@@ -50,6 +50,9 @@ class ServeClient:
         self.port = port
         self.timeout = timeout
         self.client_id = client_id
+        #: The ``X-Repro-Request-Id`` of the most recent response —
+        #: correlate a reply with its trace span / request-log line.
+        self.last_request_id: Optional[str] = None
         self._conn: Optional[http.client.HTTPConnection] = None
 
     # ------------------------------------------------------------------
@@ -77,12 +80,22 @@ class ServeClient:
             headers["X-Repro-Client"] = self.client_id
         return headers
 
-    def _request(self, method: str, path: str, body: Optional[dict] = None):
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[dict] = None,
+        accept: Optional[str] = None,
+        raw: bool = False,
+    ):
         payload = None if body is None else json.dumps(body).encode("utf-8")
+        headers = self._headers()
+        if accept is not None:
+            headers["Accept"] = accept
         for attempt in (1, 2):
             conn = self._connection()
             try:
-                conn.request(method, path, body=payload, headers=self._headers())
+                conn.request(method, path, body=payload, headers=headers)
                 response = conn.getresponse()
                 break
             except (ConnectionError, http.client.HTTPException, OSError):
@@ -91,6 +104,11 @@ class ServeClient:
                 if attempt == 2:
                     raise
         data = response.read()
+        self.last_request_id = response.getheader("X-Repro-Request-Id")
+        if raw:
+            if response.status >= 300:
+                raise ServeError(response.status, data.decode("utf-8", "replace"))
+            return data.decode("utf-8")
         decoded = json.loads(data) if data else None
         if response.status >= 300:
             raise ServeError(response.status, decoded)
@@ -131,8 +149,22 @@ class ServeClient:
         return self._request("GET", "/healthz")
 
     def metrics(self) -> dict:
-        """The server's full metrics registry snapshot."""
-        return self._request("GET", "/metrics")
+        """The server's metrics as JSON (registry snapshots + rollup)."""
+        return self._request("GET", "/metrics", accept="application/json")
+
+    def metrics_text(self) -> str:
+        """The server's metrics in Prometheus text exposition format."""
+        return self._request(
+            "GET", "/metrics", accept="text/plain", raw=True
+        )
+
+    def dashboard(self) -> str:
+        """The live dashboard page (self-contained HTML)."""
+        return self._request("GET", "/dashboard", raw=True)
+
+    def debug_traces(self) -> dict:
+        """The server's retained ``serve.request`` span ring."""
+        return self._request("GET", "/debug/traces")
 
     def population(
         self,

@@ -36,6 +36,15 @@ class Router:
         """Register ``handler`` for ``method path``."""
         self._routes.setdefault(path, {})[method.upper()] = handler
 
+    def known(self, path: str) -> bool:
+        """Is ``path`` a registered endpoint (any method)?
+
+        The rollup layer uses this to keep its per-endpoint series
+        bounded: unknown paths collapse to one synthetic endpoint
+        instead of letting a scanner mint unbounded label values.
+        """
+        return path in self._routes
+
     def routes(self) -> List[Tuple[str, str]]:
         """Every registered (method, path), sorted — for docs/healthz."""
         return sorted(

@@ -16,9 +16,16 @@ HTTP/JSON API. The request path composes the rest of this package:
 5. **Batching** (:mod:`repro.serve.batcher`) — compatible simulation
    jobs landing within the batch window ride one pool dispatch.
 6. **Observability** — every request runs inside a ``serve.request``
-   trace span (the existing JSONL format); ``/metrics`` serialises the
-   engine's :class:`MetricsRegistry` (which the serve layer shares), and
-   ``/healthz`` reports engine/store/admission state.
+   trace span (the existing JSONL format) carrying a request id that is
+   echoed back as ``X-Repro-Request-Id``, recorded into the rolling
+   window rollup (:mod:`repro.obs.rollup`), retained in a bounded span
+   ring (``GET /debug/traces``) and optionally appended to a JSONL
+   request log. ``/metrics`` is content-negotiated: JSON for
+   ``Accept: application/json`` (registry snapshots + the rollup),
+   Prometheus text exposition otherwise; ``/healthz`` reports
+   engine/store/cache/admission state; ``/dashboard`` serves a
+   self-contained live HTML dashboard; a /proc resource sampler runs
+   for the server's lifetime.
 
 Progress streams as chunked ``application/x-ndjson``: one JSON object
 per line (``accepted``, ``progress``, ``result`` / ``error`` events).
@@ -41,6 +48,11 @@ from dataclasses import dataclass
 from typing import AsyncIterator, Dict, List, Optional, Tuple
 
 from repro.engine.store import canonical_json
+from repro.obs.promtext import CONTENT_TYPE as PROM_CONTENT_TYPE
+from repro.obs.promtext import render_exposition
+from repro.obs.reqlog import RequestLog, SpanRing, new_request_id
+from repro.obs.rollup import RequestRollup
+from repro.obs.sampler import ResourceSampler
 from repro.obs.trace import span as trace_span
 from repro.serve.admission import AdmissionController, RejectedError
 from repro.serve.batcher import SimulationBatcher
@@ -80,12 +92,19 @@ class ServeConfig:
     drain_timeout: float = 30.0
     body_limit: int = 1 << 20
     keepalive_timeout: float = 75.0
+    window_seconds: float = 10.0
+    window_count: int = 6
+    request_log: Optional[str] = None
+    dashboard: bool = True
+    trace_ring: int = 256
+    sampler_interval: float = 1.0
 
 
 class Request:
     """One parsed HTTP request."""
 
-    __slots__ = ("method", "path", "headers", "body", "client")
+    __slots__ = ("method", "path", "headers", "body", "client",
+                 "request_id", "disposition")
 
     def __init__(
         self,
@@ -100,6 +119,10 @@ class Request:
         self.headers = headers
         self.body = body
         self.client = client
+        self.request_id = new_request_id()
+        # Filled in along the compute path (warm/coalesced/batched) and
+        # consumed by the rollup middleware when the response settles.
+        self.disposition: Dict[str, bool] = {}
 
     def json(self) -> object:
         """The JSON body (an empty body parses as ``{}``)."""
@@ -116,23 +139,43 @@ class Request:
 
 
 class Response:
-    """A JSON response: one payload, or a stream of NDJSON events."""
+    """A response: JSON payload, raw body, or a stream of NDJSON events."""
 
-    __slots__ = ("status", "payload", "stream")
+    __slots__ = ("status", "payload", "stream", "body", "content_type",
+                 "headers", "request_id")
 
     def __init__(
         self,
         status: int = 200,
         payload: Optional[dict] = None,
         stream: Optional[AsyncIterator[dict]] = None,
+        body: Optional[bytes] = None,
+        content_type: str = "application/json",
+        headers: Optional[Dict[str, str]] = None,
     ) -> None:
         self.status = status
         self.payload = payload
         self.stream = stream
+        self.body = body
+        self.content_type = content_type
+        self.headers = headers or {}
+        self.request_id: Optional[str] = None
 
     @staticmethod
-    def error(status: int, message: str) -> "Response":
-        return Response(status, {"error": message, "status": status})
+    def error(
+        status: int, message: str, headers: Optional[Dict[str, str]] = None
+    ) -> "Response":
+        return Response(
+            status, {"error": message, "status": status}, headers=headers
+        )
+
+    @staticmethod
+    def text(
+        status: int, body: str, content_type: str = "text/plain; charset=utf-8"
+    ) -> "Response":
+        return Response(
+            status, body=body.encode("utf-8"), content_type=content_type
+        )
 
 
 class _BadRequest(Exception):
@@ -156,9 +199,24 @@ class YieldServer:
         self.batcher = SimulationBatcher(
             engine, window=self.config.batch_window, registry=self.metrics
         )
+        self.rollup = RequestRollup(
+            window_seconds=self.config.window_seconds,
+            windows=self.config.window_count,
+        )
+        self.span_ring = SpanRing(capacity=self.config.trace_ring)
+        self.request_log: Optional[RequestLog] = (
+            RequestLog(self.config.request_log)
+            if self.config.request_log else None
+        )
+        self.sampler = ResourceSampler(
+            registry=self.metrics, interval=self.config.sampler_interval
+        )
         self.router = Router()
         self.router.add("GET", "/healthz", _handle_healthz)
         self.router.add("GET", "/metrics", _handle_metrics)
+        self.router.add("GET", "/debug/traces", _handle_debug_traces)
+        if self.config.dashboard:
+            self.router.add("GET", "/dashboard", _handle_dashboard)
         self.router.add("POST", "/v1/population", _handle_population)
         self.router.add("POST", "/v1/simulate", _handle_simulate)
         self.router.add("POST", "/v1/experiment", _handle_experiment)
@@ -182,6 +240,10 @@ class YieldServer:
         name = self._server.sockets[0].getsockname()
         self.host, self.port = name[0], name[1]
         self.started = time.time()
+        # The /proc sampler runs for the server's whole life so the
+        # RSS/CPU gauges on /metrics and /dashboard are always current;
+        # shutdown() stops the thread before the loop is released.
+        self.sampler.start()
         return self.host, self.port
 
     async def wait_closed(self) -> None:
@@ -212,6 +274,12 @@ class YieldServer:
             task.cancel()
         if self._connections:
             await asyncio.gather(*self._connections, return_exceptions=True)
+        # Stop the sampler thread *after* the drain (its gauges stay live
+        # for late /metrics scrapes) but before releasing the loop, so no
+        # thread outlives the server and no gauge writes land afterwards.
+        self.sampler.stop()
+        if self.request_log is not None:
+            self.request_log.close()
         self._closed.set()
 
     async def _drain(self) -> None:
@@ -331,27 +399,84 @@ class YieldServer:
     async def _dispatch(self, request: Request) -> Response:
         self.metrics.counter("serve.requests").inc()
         start = time.perf_counter()
+        wall = time.time()
         with trace_span(
             "serve.request",
             method=request.method,
             path=request.path,
             client=request.client,
+            request_id=request.request_id,
         ) as sp:
             response = await self._route(request)
             sp.set(status=response.status)
-        self.metrics.histogram("serve.request_seconds").observe(
-            time.perf_counter() - start
-        )
+        elapsed = time.perf_counter() - start
+        self.metrics.histogram("serve.request_seconds").observe(elapsed)
         self.metrics.counter(f"serve.responses.{response.status}").inc()
+        self._observe(request, response, elapsed, wall)
+        response.request_id = request.request_id
         return response
 
+    def _observe(
+        self, request: Request, response: Response,
+        elapsed: float, wall: float,
+    ) -> None:
+        """Rollup + span ring + request log for one finished request.
+
+        Unknown paths collapse into one ``<other>`` endpoint so a port
+        scanner cannot mint unbounded rollup series.
+        """
+        endpoint = (
+            request.path if self.router.known(request.path) else "<other>"
+        )
+        disposition = request.disposition
+        self.rollup.record(
+            endpoint,
+            response.status,
+            elapsed,
+            warm=disposition.get("warm", False),
+            coalesced=disposition.get("coalesced", False),
+            batched=disposition.get("batched", False),
+        )
+        record = {
+            "name": "serve.request",
+            "request_id": request.request_id,
+            "ts": wall,
+            "dur": elapsed,
+            "attrs": {
+                "method": request.method,
+                "path": request.path,
+                "client": request.client,
+                "status": response.status,
+                **{flag: True for flag, on in disposition.items() if on},
+            },
+        }
+        self.span_ring.append(record)
+        if self.request_log is not None:
+            self.request_log.record({
+                "request_id": request.request_id,
+                "ts": round(wall, 6),
+                "client": request.client,
+                "method": request.method,
+                "path": request.path,
+                "status": response.status,
+                "seconds": round(elapsed, 6),
+                "warm": disposition.get("warm", False),
+                "coalesced": disposition.get("coalesced", False),
+                "batched": disposition.get("batched", False),
+            })
+
     async def _route(self, request: Request) -> Response:
-        if self.draining and request.path not in ("/healthz", "/metrics"):
+        if self.draining and request.path not in (
+            "/healthz", "/metrics", "/debug/traces", "/dashboard"
+        ):
             return Response.error(503, "draining")
         try:
             handler = self.router.resolve(request.method, request.path)
         except RouteError as exc:
-            return Response.error(exc.status, exc.reason)
+            headers = (
+                {"Allow": ", ".join(exc.allow)} if exc.allow else None
+            )
+            return Response.error(exc.status, exc.reason, headers=headers)
         try:
             return await handler(self, request)
         except ProtocolError as exc:
@@ -370,13 +495,25 @@ class YieldServer:
     async def _write_json(
         self, writer, response: Response, keep_alive: bool
     ) -> None:
-        body = canonical_json(response.payload).encode("utf-8")
+        if response.body is not None:
+            body = response.body
+            content_type = response.content_type
+        else:
+            body = canonical_json(response.payload).encode("utf-8")
+            content_type = "application/json"
+        extra = "".join(
+            f"{name}: {value}\r\n"
+            for name, value in response.headers.items()
+        )
+        if response.request_id:
+            extra += f"X-Repro-Request-Id: {response.request_id}\r\n"
         head = (
             f"HTTP/1.1 {response.status} "
             f"{_REASONS.get(response.status, 'Unknown')}\r\n"
-            "Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            f"{extra}"
             "\r\n"
         )
         writer.write(head.encode("latin-1") + body)
@@ -410,24 +547,27 @@ class YieldServer:
     # ------------------------------------------------------------------
     # shared compute plumbing (used by the endpoint handlers)
     # ------------------------------------------------------------------
-    async def _admitted(self, key: str, kind: str, client: str) -> bool:
+    async def _admitted(self, key: str, kind: str, request: Request) -> bool:
         """Acquire a compute slot when this request needs one.
 
         Warm queries (cache-answerable) and joiners of an existing
         flight don't add compute, so they bypass admission; returns
         whether a slot was actually acquired (and must be released).
+        Annotates the request's disposition for the rollup middleware.
         """
         if self.coalescer.get(key) is not None:
+            request.disposition["coalesced"] = True
             return False
         if self.engine.has_cached(kind, key):
             self.metrics.counter("serve.request.warm").inc()
+            request.disposition["warm"] = True
             return False
         self.metrics.counter("serve.request.cold").inc()
-        await self.admission.acquire(client)
+        await self.admission.acquire(request.client)
         return True
 
-    async def _run_flight(self, key: str, kind: str, client: str, start):
-        held = await self._admitted(key, kind, client)
+    async def _run_flight(self, key: str, kind: str, request: Request, start):
+        held = await self._admitted(key, kind, request)
         try:
             return await self.coalescer.run(key, start)
         finally:
@@ -435,7 +575,8 @@ class YieldServer:
                 self.admission.release()
 
     def _stream_flight(
-        self, key: str, kind: str, client: str, start, payload, held: bool
+        self, key: str, kind: str, request: Request, start, payload,
+        held: bool,
     ) -> AsyncIterator[dict]:
         """NDJSON event stream for one job (accepted → progress → result).
 
@@ -500,7 +641,10 @@ class YieldServer:
 # endpoint handlers
 # ----------------------------------------------------------------------
 async def _handle_healthz(server: YieldServer, request: Request) -> Response:
+    from repro.workloads.compiled import trace_cache_info
+
     store = server.engine.store
+    counters = server.engine.metrics
     return Response(200, {
         "status": "draining" if server.draining else "ok",
         "pid": os.getpid(),
@@ -510,6 +654,7 @@ async def _handle_healthz(server: YieldServer, request: Request) -> Response:
             "inflight": server.engine.inflight_count(),
         },
         "store": store.info() if store is not None else None,
+        "compiled_traces": trace_cache_info(),
         "admission": {
             "active": server.admission.active,
             "queued": server.admission.queued,
@@ -518,20 +663,73 @@ async def _handle_healthz(server: YieldServer, request: Request) -> Response:
         },
         "flights": server.coalescer.flight_count(),
         "batch_pending": server.batcher.pending(),
+        "requests": {
+            "total": counters.counter("serve.requests").value,
+            "warm": counters.counter("serve.request.warm").value,
+            "cold": counters.counter("serve.request.cold").value,
+            "windowed": server.rollup.recorded(),
+        },
+        "request_log": (
+            server.request_log.stats()
+            if server.request_log is not None else None
+        ),
     })
+
+
+def _metrics_payload(server: YieldServer) -> dict:
+    """The JSON form of /metrics (also the dashboard's data source)."""
+    from repro.obs.metrics import get_metrics
+
+    return {
+        "engine": server.engine.metrics.snapshot(),
+        "process": get_metrics().snapshot(),
+        "rollup": server.rollup.snapshot(),
+        "server": {
+            "draining": server.draining,
+            "uptime_seconds": round(time.time() - server.started, 3),
+        },
+    }
 
 
 async def _handle_metrics(server: YieldServer, request: Request) -> Response:
     from repro.obs.metrics import get_metrics
 
-    return Response(200, {
-        "engine": server.engine.metrics.snapshot(),
-        "process": get_metrics().snapshot(),
-        "server": {
-            "draining": server.draining,
-            "uptime_seconds": round(time.time() - server.started, 3),
+    accept = request.headers.get("accept", "")
+    if "application/json" in accept.lower():
+        return Response(200, _metrics_payload(server))
+    # Default (and anything Prometheus-shaped): text exposition. The
+    # engine registry leads so its instruments win name collisions with
+    # the process-wide one.
+    text = render_exposition(
+        [
+            ("engine", server.engine.metrics.snapshot()),
+            ("process", get_metrics().snapshot()),
+        ],
+        rollup=server.rollup.snapshot(),
+        extra_gauges={
+            "serve.uptime_seconds": time.time() - server.started,
+            "serve.draining": 1.0 if server.draining else 0.0,
+            "serve.connections": float(len(server._connections)),
+            "serve.flights": float(server.coalescer.flight_count()),
         },
-    })
+    )
+    return Response.text(200, text, content_type=PROM_CONTENT_TYPE)
+
+
+async def _handle_debug_traces(
+    server: YieldServer, request: Request
+) -> Response:
+    return Response(200, server.span_ring.snapshot())
+
+
+async def _handle_dashboard(server: YieldServer, request: Request) -> Response:
+    from repro.obs.dashboard import dashboard_html
+
+    return Response.text(
+        200,
+        dashboard_html(_metrics_payload(server)),
+        content_type="text/html; charset=utf-8",
+    )
 
 
 async def _handle_population(server: YieldServer, request: Request) -> Response:
@@ -548,12 +746,12 @@ async def _handle_population(server: YieldServer, request: Request) -> Response:
         return population_payload(result, query.detail)
 
     if query.stream:
-        held = await server._admitted(query.key, "population", request.client)
+        held = await server._admitted(query.key, "population", request)
         return Response(200, stream=server._stream_flight(
-            query.key, "population", request.client, start, payload, held
+            query.key, "population", request, start, payload, held
         ))
     result = await server._run_flight(
-        query.key, "population", request.client, start
+        query.key, "population", request, start
     )
     return Response(200, payload(result))
 
@@ -568,14 +766,21 @@ async def _handle_simulate(server: YieldServer, request: Request) -> Response:
         )
 
     if query.stream:
-        held = await server._admitted(query.key, "simulation", request.client)
+        held = await server._admitted(query.key, "simulation", request)
+        if held:
+            request.disposition["batched"] = True
         return Response(200, stream=server._stream_flight(
-            query.key, "simulation", request.client, start,
+            query.key, "simulation", request, start,
             simulation_payload, held,
         ))
-    result = await server._run_flight(
-        query.key, "simulation", request.client, start
-    )
+    held = await server._admitted(query.key, "simulation", request)
+    if held:
+        request.disposition["batched"] = True
+    try:
+        result = await server.coalescer.run(query.key, start)
+    finally:
+        if held:
+            server.admission.release()
     return Response(200, simulation_payload(result))
 
 
@@ -590,7 +795,7 @@ async def _handle_experiment(server: YieldServer, request: Request) -> Response:
         )
 
     result = await server._run_flight(
-        query.key, "experiment", request.client, start
+        query.key, "experiment", request, start
     )
     return Response(200, experiment_payload(result))
 

@@ -140,6 +140,38 @@ class LossBreakdown:
         return out
 
 
+def _emit_estimator_gauges(breakdown: LossBreakdown, horizontal: bool) -> None:
+    """Publish estimator-quality gauges for one loss breakdown.
+
+    Every breakdown is a set of binomial yield estimates (base and one
+    per scheme); alongside each point estimate we publish its 95% Wilson
+    CI half-width and the sample count, so statistical efficiency —
+    "how many chips bought how tight an interval" — is visible on
+    ``/metrics`` and the live dashboard, not just in offline reports
+    (ROADMAP: report estimator variance alongside yield).
+    """
+    from repro.obs.metrics import get_metrics
+    from repro.yieldmodel.statistics import wilson_interval
+
+    total = breakdown.population
+    if total <= 0:
+        return
+    registry = get_metrics()
+    arch = "horizontal" if horizontal else "regular"
+    targets = [("base", breakdown.base_total)]
+    targets.extend(
+        (name, breakdown.scheme_total(name))
+        for name in breakdown.scheme_losses
+    )
+    for name, losses in targets:
+        ships = total - losses
+        low, high = wilson_interval(ships, total)
+        key = f"{arch}.{name}"
+        registry.gauge(f"yield.estimate.{key}").set(ships / total)
+        registry.gauge(f"yield.ci_halfwidth.{key}").set((high - low) / 2.0)
+        registry.gauge(f"yield.samples.{key}").set(total)
+
+
 @dataclass
 class PopulationResult:
     """All per-chip cases of one Monte Carlo population."""
@@ -212,11 +244,13 @@ class PopulationResult:
                 if not scheme.rescue(case).saved:
                     losses[reason] = losses.get(reason, 0) + 1
             scheme_losses[scheme.name] = losses
-        return LossBreakdown(
+        result = LossBreakdown(
             base_counts=base_counts,
             scheme_losses=scheme_losses,
             population=len(cases),
         )
+        _emit_estimator_gauges(result, horizontal)
+        return result
 
     def configuration_census(
         self, scheme: "Scheme", horizontal: bool = False

@@ -33,6 +33,8 @@ import pytest
 from repro.engine.store import canonical_json
 from repro.engine.core import Engine, EngineConfig
 from repro.experiments.common import ExperimentSettings
+from repro.obs.promtext import parse_exposition
+from repro.obs.trace import configure_tracing, disable_tracing
 from repro.serve import ServeClient, ServeConfig, ServeError, ServerThread
 
 SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
@@ -83,6 +85,11 @@ def test_metrics_serves_registry_snapshot(served):
         metrics = client.metrics()
     assert "serve.requests" in metrics["engine"]["counters"]
     assert metrics["server"]["draining"] is False
+    # The rolling-window view rides along in the JSON representation.
+    rollup = metrics["rollup"]
+    assert rollup["window_seconds"] > 0
+    assert rollup["total"]["count"] >= 1
+    assert "/v1/population" in rollup["endpoints"]
 
 
 def test_unknown_endpoint_404_wrong_method_405(served):
@@ -378,3 +385,242 @@ def test_sigterm_drains_inflight_work(tmp_path):
         if proc.poll() is None:
             proc.kill()
             proc.communicate()
+
+
+# ----------------------------------------------------------------------
+# live observability surface
+# ----------------------------------------------------------------------
+def test_healthz_exposes_live_detail(served):
+    engine, host, port = served
+    with ServeClient(host, port) as client:
+        client.population(seed=12, chips=20)
+        health = client.healthz()
+    assert health["uptime_seconds"] >= 0
+    assert "entries" in health["store"] or health["store"]
+    assert "compiled_traces" in health
+    requests = health["requests"]
+    assert requests["total"] >= requests["warm"] + requests["cold"]
+    assert requests["windowed"] >= 1
+    assert health["engine"]["inflight"] == 0
+
+
+def test_request_id_propagates_to_spans_and_debug_ring(served, tmp_path):
+    engine, host, port = served
+    trace_file = tmp_path / "serve-trace.jsonl"
+    configure_tracing(trace_file)
+    try:
+        with ServeClient(host, port) as client:
+            client.population(seed=13, chips=20)
+            request_id = client.last_request_id
+            ring = client.debug_traces()
+    finally:
+        disable_tracing()
+
+    assert request_id and len(request_id) == 16
+
+    # The bounded in-memory ring retains the request with its id.
+    assert ring["capacity"] >= 1
+    ring_ids = [span["request_id"] for span in ring["spans"]]
+    assert request_id in ring_ids
+    matching = [
+        s for s in ring["spans"] if s["request_id"] == request_id
+    ][0]
+    assert matching["name"] == "serve.request"
+    assert matching["attrs"]["path"] == "/v1/population"
+    assert matching["attrs"]["status"] == 200
+
+    # And the real tracer recorded a serve.request span carrying the
+    # same id, so JSONL traces correlate with response headers.
+    spans = [
+        json.loads(line)
+        for line in trace_file.read_text(encoding="utf-8").splitlines()
+    ]
+    serve_spans = [s for s in spans if s["name"] == "serve.request"]
+    assert any(
+        s["attrs"].get("request_id") == request_id for s in serve_spans
+    )
+
+
+def test_dashboard_served_self_contained(served):
+    engine, host, port = served
+    with ServeClient(host, port) as client:
+        client.population(seed=14, chips=20)
+        page = client.dashboard()
+    assert page.lstrip().startswith("<!DOCTYPE html>")
+    assert "http://" not in page and "https://" not in page
+    assert "src=" not in page and "<link" not in page
+    for anchor in ("spark-rate", "lat-p95", "q-active", "ep-rows"):
+        assert f'id="{anchor}"' in page
+
+
+def test_request_log_written_as_jsonl(tmp_path):
+    engine = Engine(EngineConfig(workers=1, cache_dir=tmp_path / "store"))
+    log_path = tmp_path / "requests.jsonl"
+    thread = ServerThread(
+        engine, ServeConfig(port=0, request_log=str(log_path))
+    )
+    host, port = thread.start()
+    try:
+        with ServeClient(host, port) as client:
+            client.population(seed=15, chips=20)
+            client.healthz()
+            request_id = client.last_request_id
+    finally:
+        thread.stop()
+        engine.shutdown()
+    entries = [
+        json.loads(line)
+        for line in log_path.read_text(encoding="utf-8").splitlines()
+    ]
+    assert len(entries) >= 2
+    by_id = {entry["request_id"]: entry for entry in entries}
+    assert request_id in by_id
+    health_entry = by_id[request_id]
+    assert health_entry["path"] == "/healthz"
+    assert health_entry["status"] == 200
+    assert health_entry["seconds"] >= 0
+
+
+def test_sampler_thread_stops_with_server(tmp_path):
+    # Other servers (the module fixture) may be live with their own
+    # samplers; only threads born with THIS server must die with it.
+    before = {
+        t.ident for t in threading.enumerate()
+        if t.name.startswith("repro-resource-sampler")
+    }
+    engine = Engine(EngineConfig(workers=1, cache_dir=tmp_path / "store"))
+    thread = ServerThread(
+        engine, ServeConfig(port=0, sampler_interval=0.05)
+    )
+    host, port = thread.start()
+    try:
+        deadline = time.time() + 10
+        with ServeClient(host, port) as client:
+            while time.time() < deadline:
+                gauges = client.metrics()["engine"]["gauges"]
+                if gauges.get("proc.rss_bytes", 0) > 0:
+                    break
+                time.sleep(0.05)
+            else:
+                pytest.fail("resource sampler never published gauges")
+    finally:
+        thread.stop()
+        engine.shutdown()
+    # The background /proc sampler must not outlive the server.
+    lingering = [
+        t for t in threading.enumerate()
+        if t.name.startswith("repro-resource-sampler")
+        and t.ident not in before
+    ]
+    assert lingering == []
+
+
+def test_burst_exposes_consistent_prometheus_metrics(tmp_path):
+    """The acceptance scenario: mixed warm/cold burst with one overloaded
+    client, then /metrics (text) and /dashboard tell a consistent story."""
+    engine = Engine(EngineConfig(workers=1, cache_dir=tmp_path / "store"))
+    thread = ServerThread(
+        engine,
+        ServeConfig(port=0, max_active=1, max_queued=2, max_per_client=1),
+    )
+    host, port = thread.start()
+    try:
+        statuses = []
+
+        # Cold then warm: same query twice, then a distinct cold query.
+        with ServeClient(host, port, client_id="mixed") as client:
+            client.population(seed=81, chips=30)
+            client.population(seed=81, chips=30)  # warm repeat
+            client.population(seed=82, chips=30)  # second cold
+
+        # One overloaded client: a slow cold query pins the slot, its
+        # second and third requests hit the per-client bound.
+        def occupy():
+            with ServeClient(host, port, client_id="greedy") as client:
+                client.population(seed=83, chips=4000)
+
+        occupier = threading.Thread(target=occupy)
+        occupier.start()
+        deadline = time.time() + 10
+        with ServeClient(host, port, client_id="probe") as probe:
+            while time.time() < deadline:
+                if probe.healthz()["admission"]["active"] >= 1:
+                    break
+                time.sleep(0.01)
+
+        def crowd(bucket):
+            try:
+                with ServeClient(host, port, client_id="greedy") as client:
+                    client.population(seed=84 + bucket, chips=1500)
+                statuses.append(200)
+            except ServeError as exc:
+                statuses.append(exc.status)
+
+        crowders = [
+            threading.Thread(target=crowd, args=(i,)) for i in range(2)
+        ]
+        for t in crowders:
+            t.start()
+        for t in crowders:
+            t.join(timeout=60)
+        occupier.join(timeout=60)
+        assert 429 in statuses  # the overloaded client was pushed back
+
+        with ServeClient(host, port) as client:
+            text = client.metrics_text()
+            page = client.dashboard()
+
+        families = parse_exposition(text)
+
+        # Per-endpoint latency quantiles for the scripted endpoint.
+        latency = families["repro_serve_latency_seconds"]
+        assert latency["type"] == "summary"
+        quantiles = {
+            labels["quantile"]
+            for name, labels, _ in latency["samples"]
+            if labels.get("endpoint") == "/v1/population"
+            and "quantile" in labels
+        }
+        assert quantiles == {"0.5", "0.95", "0.99"}
+
+        # Queue-depth and in-flight gauges exist and read idle now.
+        for family in ("repro_serve_active", "repro_serve_queued",
+                       "repro_engine_inflight"):
+            assert families[family]["type"] == "gauge"
+            assert families[family]["samples"][0][2] == 0.0
+
+        # Window counts consistent with the scripted traffic: every
+        # /v1/population request of the burst (successes + pushbacks)
+        # landed in the rolling window.
+        window = {
+            labels["endpoint"]: value
+            for _, labels, value in
+            families["repro_serve_window_requests"]["samples"]
+        }
+        assert window["/v1/population"] == 4 + len(statuses)
+        responses = {
+            (labels["endpoint"], labels["class"]): value
+            for _, labels, value in
+            families["repro_serve_window_responses"]["samples"]
+        }
+        assert responses[("/v1/population", "4xx")] == statuses.count(429)
+
+        # Dispositions: the warm repeat shows up as a warm hit.
+        dispositions = {
+            (labels["endpoint"], labels["kind"]): value
+            for _, labels, value in
+            families["repro_serve_window_disposition"]["samples"]
+        }
+        assert dispositions[("/v1/population", "warm")] >= 1
+        assert dispositions[("/v1/population", "cold")] >= 2
+
+        # Lifetime counters agree with the warm/cold split.
+        assert families["repro_serve_request_warm_total"]["samples"][0][2] >= 1
+
+        # And the dashboard renders the same data self-contained.
+        assert page.lstrip().startswith("<!DOCTYPE html>")
+        assert "http://" not in page and "https://" not in page
+        assert "/v1/population" in page
+    finally:
+        thread.stop()
+        engine.shutdown()
