@@ -50,6 +50,7 @@ import pathlib
 import sys
 from typing import List, Optional, Tuple
 
+from repro.core.errors import ConfigurationError
 from repro.engine import configure_engine, get_engine
 from repro.experiments import (
     ExperimentSettings,
@@ -57,6 +58,7 @@ from repro.experiments import (
     run_experiment,
 )
 from repro.obs import configure_tracing, disable_tracing, summary_text
+from repro.yieldmodel.estimators import ESTIMATOR_KINDS, EstimatorSpec
 
 __all__ = ["main", "build_parser"]
 
@@ -101,6 +103,23 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--stats", action="store_true",
             help="print engine statistics after the run",
+        )
+        p.add_argument(
+            "--estimator", choices=ESTIMATOR_KINDS, default=None,
+            help=(
+                "yield estimator: fixed (default), adaptive (CI-driven "
+                "early stopping), stratified, is (importance sampling); "
+                "the weighted kinds run through the 'estimators' "
+                "experiment only"
+            ),
+        )
+        p.add_argument(
+            "--ci-target", type=float, default=None,
+            help=(
+                "stop sampling once every yield CI half-width is at or "
+                "below this (requires --estimator; default: run to the "
+                "full population)"
+            ),
         )
 
     run_parser = sub.add_parser("run", help="run one experiment")
@@ -759,8 +778,36 @@ def main(argv: Optional[List[str]] = None) -> int:
         trace_path.parent.mkdir(parents=True, exist_ok=True)
         configure_tracing(trace_path)
 
+    if args.ci_target is not None and args.estimator is None:
+        print(
+            "error: --ci-target requires --estimator "
+            "(adaptive, stratified or is)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.estimator in ("stratified", "is") and not (
+        args.command == "run" and args.experiment == "estimators"
+    ):
+        print(
+            f"error: the {args.estimator!r} estimator reweights chips and "
+            "cannot back scheme-level experiments; run it through "
+            "'repro run estimators'",
+            file=sys.stderr,
+        )
+        return 2
+    overrides = {}
     if args.workers is not None:
-        configure_engine(workers=args.workers)
+        overrides["workers"] = args.workers
+    if args.estimator is not None:
+        try:
+            overrides["estimator"] = EstimatorSpec(
+                kind=args.estimator, ci_target=args.ci_target
+            )
+        except ConfigurationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    if overrides:
+        configure_engine(**overrides)
 
     sampler = ResourceSampler()
     sampler.start()

@@ -19,6 +19,8 @@ from repro.yieldmodel.classify import ChipCase
 from repro.yieldmodel.constraints import ConstraintPolicy, YieldConstraints
 
 __all__ = [
+    "encode_estimate",
+    "decode_estimate",
     "encode_population",
     "decode_population",
     "encode_simulation",
@@ -110,6 +112,23 @@ def decode_population(payload: dict) -> PopulationResult:
         ],
         policy=policy,
     )
+
+
+# ----------------------------------------------------------------------
+# yield estimates
+# ----------------------------------------------------------------------
+def encode_estimate(report) -> dict:
+    """Flatten an :class:`EstimateReport` to JSON (floats exact)."""
+    from repro.yieldmodel.estimators.results import estimate_to_dict
+
+    return estimate_to_dict(report)
+
+
+def decode_estimate(payload: dict):
+    """Rebuild an :class:`EstimateReport` from a stored payload."""
+    from repro.yieldmodel.estimators.results import estimate_from_dict
+
+    return estimate_from_dict(payload)
 
 
 # ----------------------------------------------------------------------

@@ -35,9 +35,12 @@ from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.validation import env_int, env_positive_int, require_positive
+from repro.core.errors import ConfigurationError
 from repro.engine.codec import (
+    decode_estimate,
     decode_population,
     decode_simulation,
+    encode_estimate,
     encode_population,
     encode_simulation,
     policy_identity,
@@ -51,6 +54,7 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.provenance import provenance_stamp
 from repro.obs.trace import span as trace_span, tracing_enabled
 from repro.yieldmodel.constraints import ConstraintPolicy, NOMINAL_POLICY
+from repro.yieldmodel.estimators.spec import EstimatorSpec
 
 __all__ = [
     "EngineConfig",
@@ -77,6 +81,9 @@ class EngineConfig:
     persistent: bool = True
     max_cache_bytes: int = 512 * 1024 * 1024
     job_timeout: float = 900.0
+    #: Default estimator spec for population/estimate jobs (``None`` =
+    #: legacy fixed-N). Set by the CLI's ``--estimator``/``--ci-target``.
+    estimator: Optional[EstimatorSpec] = None
 
     def __post_init__(self) -> None:
         require_positive(self.workers, "workers")
@@ -224,13 +231,25 @@ class Engine:
     # populations
     # ------------------------------------------------------------------
     @staticmethod
-    def population_key(settings, policy: ConstraintPolicy = NOMINAL_POLICY) -> str:
-        """Deterministic store key of one population job."""
+    def population_key(
+        settings,
+        policy: ConstraintPolicy = NOMINAL_POLICY,
+        estimator: Optional[EstimatorSpec] = None,
+    ) -> str:
+        """Deterministic store key of one population job.
+
+        An adaptive estimator spec joins the identity (its stopping rule
+        decides how many chips the population holds); ``None`` and
+        ``fixed`` keep the exact legacy key bytes, so existing warm
+        stores stay valid.
+        """
         identity = {
             "seed": settings.seed,
             "chips": settings.chips,
             "policy": policy_identity(policy),
         }
+        if estimator is not None and estimator.kind == "adaptive":
+            identity["estimator"] = estimator.identity()
         return ResultStore.key_for("population", identity)
 
     def population(
@@ -238,15 +257,31 @@ class Engine:
         settings,
         policy: ConstraintPolicy = NOMINAL_POLICY,
         progress: Optional[Callable[[int, int], None]] = None,
+        estimator: Optional[EstimatorSpec] = None,
     ):
         """The evaluated Monte Carlo population for ``settings``/``policy``.
 
         ``progress`` (optional) is called as ``progress(done, total)``
         after each dispatched shard completes; cache hits never call it.
+        ``estimator`` (default: the engine config's spec) selects how the
+        population is sized: ``None``/``fixed`` evaluate exactly
+        ``settings.chips`` chips; ``adaptive`` draws batches of the same
+        chip stream and stops early once the Wilson CI half-width of
+        both architectures' base yields reaches the spec's ``ci_target``.
+        The weighted estimators cannot produce a chip population — use
+        :meth:`estimate` for those.
         """
-        key = self.population_key(settings, policy)
+        spec = estimator if estimator is not None else self.config.estimator
+        if spec is not None and spec.kind in ("stratified", "is"):
+            raise ConfigurationError(
+                f"the {spec.kind!r} estimator reweights chips and cannot "
+                "materialise a population; use Engine.estimate() instead"
+            )
+        key = self.population_key(settings, policy, spec)
+        adaptive = spec is not None and spec.kind == "adaptive"
         with trace_span(
-            "engine.population", chips=settings.chips, seed=settings.seed
+            "engine.population", chips=settings.chips, seed=settings.seed,
+            estimator=spec.kind if spec is not None else "fixed",
         ) as sp:
             cached = self._lookup("population", key, decode_population)
             if cached is not None:
@@ -255,7 +290,14 @@ class Engine:
                 return cached
             sp.set(source="computed")
             with self.stats.stage("population"):
-                result = self._compute_population(settings, policy, progress)
+                if adaptive:
+                    result = self._compute_population_adaptive(
+                        settings, policy, spec, progress
+                    )
+                else:
+                    result = self._compute_population(
+                        settings, policy, progress
+                    )
             self._settle("population", key, result, encode_population)
         self._emit_estimator_gauges(result)
         return result
@@ -313,19 +355,189 @@ class Engine:
         return study.assemble(regular, horizontal)
 
     def _population_jobs(self, seed: int, chips: int) -> List[Tuple[int, int, int]]:
-        """Split ``chips`` ids into shard jobs (one job on the serial path).
+        """Split ``chips`` ids into shard jobs (one job on the serial path)."""
+        return self._range_jobs(seed, 0, chips)
+
+    def _range_jobs(
+        self, seed: int, start: int, stop: int
+    ) -> List[Tuple[int, int, int]]:
+        """Split chip ids ``[start, stop)`` into shard jobs.
 
         Per-chip RNG streams depend only on ``(seed, chip_id)``, so the
         concatenated shards are bit-identical to the serial evaluation
         for any layout; the layout only affects load balance.
         """
         if self.config.workers <= 1:
-            return [(seed, 0, chips)]
-        shard = max(_MIN_SHARD, math.ceil(chips / (self.config.workers * 4)))
+            return [(seed, start, stop)]
+        shard = max(
+            _MIN_SHARD,
+            math.ceil((stop - start) / (self.config.workers * 4)),
+        )
         return [
-            (seed, start, min(start + shard, chips))
-            for start in range(0, chips, shard)
+            (seed, lo, min(lo + shard, stop))
+            for lo in range(start, stop, shard)
         ]
+
+    def _compute_population_adaptive(
+        self,
+        settings,
+        policy: ConstraintPolicy,
+        spec: EstimatorSpec,
+        progress: Optional[Callable[[int, int], None]] = None,
+    ):
+        """Sequential population batches with CI-driven early stopping.
+
+        Draws ``spec.batch_size`` chips of the reference stream per
+        round, re-derives the policy limits over the cumulative
+        population (they are population statistics), and stops once the
+        Wilson half-width of both architectures' base yields is at or
+        below ``spec.ci_target`` — or at the cap. The stopping decision
+        is a pure function of the drawn chips, so the result is
+        bit-identical at any worker count; the assembled result equals
+        exactly what a fixed population of the stopping size would be.
+        """
+        from repro.variation.columnar import columnar_enabled
+        from repro.yieldmodel.analysis import YieldStudy
+        from repro.yieldmodel.statistics import wilson_interval
+
+        cap = min(
+            spec.max_chips if spec.max_chips is not None else settings.chips,
+            settings.chips,
+        )
+        regular: List = []
+        horizontal: List = []
+        while True:
+            take = min(spec.batch_size, cap - len(regular))
+            jobs = self._range_jobs(
+                settings.seed, len(regular), len(regular) + take
+            )
+            with trace_span(
+                "engine.dispatch", kind="population", jobs=len(jobs),
+                columnar=columnar_enabled(), adaptive=True,
+                **self._dispatch_provenance(),
+            ):
+                shards = self._executor.run(
+                    population_shard, jobs, self.stats, progress=progress
+                )
+            for shard in shards:
+                regular.extend(shard[0])
+                horizontal.extend(shard[1])
+            if len(regular) >= cap:
+                break
+            if spec.ci_target is None:
+                continue
+            constraints = policy.derive(
+                [c.access_delay for c in regular],
+                [c.total_leakage for c in regular],
+            )
+            total = len(regular)
+            done = True
+            for circuits in (regular, horizontal):
+                ships = sum(
+                    1
+                    for c in circuits
+                    if c.total_leakage <= constraints.leakage_limit
+                    and all(
+                        d <= constraints.delay_limit for d in c.way_delays
+                    )
+                )
+                low, high = wilson_interval(ships, total, spec.confidence)
+                if (high - low) / 2.0 > spec.ci_target:
+                    done = False
+                    break
+            if done:
+                break
+        study = YieldStudy(
+            seed=settings.seed, count=len(regular), policy=policy
+        )
+        return study.assemble(regular, horizontal)
+
+    # ------------------------------------------------------------------
+    # yield estimates
+    # ------------------------------------------------------------------
+    @staticmethod
+    def estimate_key(
+        settings,
+        policy: ConstraintPolicy = NOMINAL_POLICY,
+        estimator: Optional[EstimatorSpec] = None,
+    ) -> str:
+        """Deterministic store key of one yield-estimate job.
+
+        The estimator spec's :meth:`~EstimatorSpec.identity` is part of
+        the identity — two estimates agree on an answer exactly when
+        they agree on ``(seed, chips, policy, spec)``.
+        """
+        spec = estimator if estimator is not None else EstimatorSpec()
+        identity = {
+            "seed": settings.seed,
+            "chips": settings.chips,
+            "policy": policy_identity(policy),
+            "estimator": spec.identity(),
+        }
+        return ResultStore.key_for("estimate", identity)
+
+    def estimate(
+        self,
+        settings,
+        policy: ConstraintPolicy = NOMINAL_POLICY,
+        estimator: Optional[EstimatorSpec] = None,
+        progress: Optional[Callable[[int, int], None]] = None,
+    ):
+        """The yield estimate for ``settings``/``policy`` under a spec.
+
+        Runs the estimator the spec selects (default: the engine
+        config's, else plain fixed-N) through the estimator batch
+        runner, sharded over this engine's executor — bit-deterministic
+        for ``(seed, chips, policy, spec)`` at any worker count. Results
+        are cached like every other engine job.
+        """
+        from repro.yieldmodel.estimators import BatchRunner, run_estimate
+
+        spec = estimator if estimator is not None else self.config.estimator
+        if spec is None:
+            spec = EstimatorSpec()
+        key = self.estimate_key(settings, policy, spec)
+        with trace_span(
+            "engine.estimate", kind=spec.kind, chips=settings.chips,
+            seed=settings.seed, policy=policy.name,
+        ) as sp:
+            cached = self._lookup("estimate", key, decode_estimate)
+            if cached is not None:
+                sp.set(source="cache")
+                self._emit_estimate_gauges(cached)
+                return cached
+            sp.set(source="computed")
+            runner = BatchRunner(
+                executor=self._executor,
+                workers=self.config.workers,
+                stats=self.stats,
+                progress=progress,
+            )
+            with self.stats.stage("estimate"):
+                report = run_estimate(
+                    runner, spec, settings.seed, settings.chips, policy
+                )
+            self._settle("estimate", key, report, encode_estimate)
+        self._emit_estimate_gauges(report)
+        return report
+
+    def _emit_estimate_gauges(self, report) -> None:
+        """Estimate / CI half-width / samples / ESS per tracked figure.
+
+        The figure set is fixed (``regular.base``, ``horizontal.base``),
+        so the series count is bounded by construction — no label
+        cardinality cap needed at this emission site.
+        """
+        for estimate in report.estimates:
+            name = estimate.figure
+            self.metrics.gauge(f"yield.estimate.{name}").set(
+                estimate.estimate
+            )
+            self.metrics.gauge(f"yield.ci_halfwidth.{name}").set(
+                estimate.ci_halfwidth
+            )
+            self.metrics.gauge(f"yield.samples.{name}").set(estimate.samples)
+            self.metrics.gauge(f"yield.ess.{name}").set(estimate.ess)
 
     # ------------------------------------------------------------------
     # simulations
@@ -480,7 +692,7 @@ class Engine:
         later callers receive the same future. A memoised result resolves
         immediately without touching the pool.
         """
-        key = self.population_key(settings, policy)
+        key = self.population_key(settings, policy, self.config.estimator)
         if key in self._memo:
             self.metrics.counter("engine.inflight.cached.population").inc()
             future: Future = Future()
@@ -491,6 +703,38 @@ class Engine:
             def lead() -> None:
                 try:
                     result = self.population(settings, policy, progress=progress)
+                except Exception as exc:  # settled into the future
+                    self._finish(key, future, None, exc)
+                else:
+                    self._finish(key, future, result, None)
+
+            self._pool().submit(lead)
+        return future
+
+    def submit_estimate(
+        self,
+        settings,
+        policy: ConstraintPolicy = NOMINAL_POLICY,
+        estimator: Optional[EstimatorSpec] = None,
+        progress: Optional[Callable[[int, int], None]] = None,
+    ) -> Future:
+        """Submit one yield-estimate job (single-flight, like populations)."""
+        spec = estimator if estimator is not None else self.config.estimator
+        if spec is None:
+            spec = EstimatorSpec()
+        key = self.estimate_key(settings, policy, spec)
+        if key in self._memo:
+            self.metrics.counter("engine.inflight.cached.estimate").inc()
+            future: Future = Future()
+            future.set_result(self._memo[key])
+            return future
+        future, leader = self._claim("estimate", key)
+        if leader:
+            def lead() -> None:
+                try:
+                    result = self.estimate(
+                        settings, policy, estimator=spec, progress=progress
+                    )
                 except Exception as exc:  # settled into the future
                     self._finish(key, future, None, exc)
                 else:
@@ -574,9 +818,9 @@ def configure_engine(**overrides) -> Engine:
     """Replace the process-wide engine with selected overrides.
 
     Accepts any :class:`EngineConfig` field (``workers``, ``cache_dir``,
-    ``persistent``, ``max_cache_bytes``, ``job_timeout``); unspecified
-    fields come from the environment. The CLI's ``--workers`` flag and
-    the tests go through here.
+    ``persistent``, ``max_cache_bytes``, ``job_timeout``, ``estimator``);
+    unspecified fields come from the environment. The CLI's ``--workers``
+    and ``--estimator`` flags and the tests go through here.
     """
     global _ENGINE
     config = EngineConfig.from_env()

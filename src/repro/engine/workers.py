@@ -19,13 +19,16 @@ from typing import Dict, List, Optional, Tuple
 from repro.circuit.cache_model import CacheCircuitResult
 from repro.obs.trace import span as trace_span
 
-__all__ = ["population_shard", "simulation_job"]
+__all__ = ["estimate_shard", "population_shard", "simulation_job"]
 
 #: Population shard job: (seed, start chip id, stop chip id).
 PopulationJob = Tuple[int, int, int]
 
 #: Simulation job: plain-dict identity (see :func:`simulation_job`).
 SimulationJob = Dict[str, object]
+
+#: Estimator shard job: plain-dict stream range (see :func:`estimate_shard`).
+EstimateJob = Dict[str, object]
 
 
 def population_shard(
@@ -46,6 +49,41 @@ def population_shard(
     ):
         study = YieldStudy(seed=seed, count=max(stop, 1))
         return study.evaluate_chips(start, stop)
+
+
+def estimate_shard(job: EstimateJob):
+    """Draw and evaluate one tagged estimator chip range.
+
+    ``job`` carries ``seed``, ``tag``, ``start``, ``stop`` and the
+    optional die-slot transforms ``shift`` (IS mean tilt, list of
+    floats) and ``stratum`` (``[index, strata]``). Chip ``i`` of stream
+    ``tag`` always draws from ``spawn(seed, f"{tag}-{i}")``, so any
+    sharding of the range concatenates bit-identically — see
+    :func:`repro.yieldmodel.estimators.sampling.sample_shard`.
+    """
+    from repro.yieldmodel.estimators.sampling import sample_shard
+
+    seed = int(job["seed"])
+    tag = str(job["tag"])
+    start = int(job["start"])
+    stop = int(job["stop"])
+    shift = job.get("shift")
+    stratum = job.get("stratum")
+    with trace_span(
+        "worker:estimate_shard", tag=tag, start=start, stop=stop, seed=seed
+    ):
+        return sample_shard(
+            seed,
+            tag,
+            start,
+            stop,
+            shift=None if shift is None else [float(v) for v in shift],
+            stratum=(
+                None
+                if stratum is None
+                else (int(stratum[0]), int(stratum[1]))
+            ),
+        )
 
 
 def simulation_job(job: SimulationJob):

@@ -10,7 +10,7 @@ from typing import Callable, Dict, List, Optional
 
 from repro.core.errors import ConfigurationError
 from repro.engine import get_engine
-from repro.experiments import fig1, fig8, sec42, sensor_study
+from repro.experiments import estimators, fig1, fig8, sec42, sensor_study
 from repro.experiments.designspace import (
     run_ablation_assoc,
     run_ablation_temperature,
@@ -46,6 +46,7 @@ EXPERIMENTS: Dict[str, Callable[[ExperimentSettings], ExperimentResult]] = {
     "ablation_sensor": sensor_study.run,
     "ablation_assoc": run_ablation_assoc,
     "ablation_temperature": run_ablation_temperature,
+    "estimators": estimators.run,
 }
 
 

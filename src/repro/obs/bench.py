@@ -246,6 +246,48 @@ def _prepare_serve_burst(engine):
     return run
 
 
+#: The tail-yield constraint policy of the estimator suite: permissive
+#: limits (mean + 3 sigma delay, 8x mean leakage) push the yield to
+#: ~0.985, where brute force wastes chips measuring an almost-sure pass
+#: — the regime the smart estimators exist for.
+_TAIL_POLICY_PARAMS = ("tail", 3.0, 8.0)
+
+
+def _prepare_estimator(kind: str):
+    """Estimator benchmark: one kind at a matched CI target on the tail.
+
+    Every kind gets the same 2000-chip budget and (for the sequential
+    kinds) the same 0.02 CI target, so the sample counts in the recorded
+    ``metrics.estimator`` snapshot are directly comparable — the
+    fixed-vs-adaptive-vs-IS samples ratio is the suite's headline.
+    """
+
+    def prepare(engine):
+        from repro.yieldmodel.constraints import ConstraintPolicy
+        from repro.yieldmodel.estimators import EstimatorSpec
+
+        settings = _bench_settings(chips=2000)
+        policy = ConstraintPolicy(*_TAIL_POLICY_PARAMS)
+        spec = {
+            "fixed": EstimatorSpec(kind="fixed"),
+            "adaptive": EstimatorSpec(kind="adaptive", ci_target=0.02),
+            "stratified": EstimatorSpec(
+                kind="stratified", ci_target=0.02, pilot_chips=160
+            ),
+            "is": EstimatorSpec(
+                kind="is", ci_target=0.02, pilot_chips=150
+            ),
+        }[kind]
+
+        def run():
+            engine.clear_memory()
+            return engine.estimate(settings, policy, estimator=spec)
+
+        return run
+
+    return prepare
+
+
 #: Suite name -> benchmark list. Each suite is one hot path the ROADMAP
 #: cares about; every suite stays in CI-smoke territory (seconds).
 SUITES: Dict[str, List[Benchmark]] = {
@@ -266,6 +308,14 @@ SUITES: Dict[str, List[Benchmark]] = {
     "serve": [
         Benchmark("serve.warm_query", _prepare_serve_warm),
         Benchmark("serve.coalesced_burst", _prepare_serve_burst),
+    ],
+    "estimators": [
+        Benchmark("estimators.fixed_tail", _prepare_estimator("fixed")),
+        Benchmark("estimators.adaptive_tail", _prepare_estimator("adaptive")),
+        Benchmark(
+            "estimators.stratified_tail", _prepare_estimator("stratified")
+        ),
+        Benchmark("estimators.is_tail", _prepare_estimator("is")),
     ],
 }
 
@@ -377,7 +427,7 @@ def _estimator_snapshot(gauges: Dict[str, float]) -> Dict[str, object]:
         if half is None or samples is None:
             continue
         width = 2.0 * float(half)
-        out[key] = {
+        entry: Dict[str, object] = {
             "estimate": round(float(value), 6),
             "ci_halfwidth": round(float(half), 6),
             "samples": int(samples),
@@ -385,6 +435,10 @@ def _estimator_snapshot(gauges: Dict[str, float]) -> Dict[str, object]:
                 round(float(samples) / width, 3) if width > 0 else None
             ),
         }
+        ess = gauges.get(f"yield.ess.{key}")
+        if ess is not None:
+            entry["ess"] = round(float(ess), 3)
+        out[key] = entry
     return out
 
 

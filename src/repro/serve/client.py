@@ -191,6 +191,26 @@ class ServeClient:
         body["stream"] = True
         return self._stream("/v1/population", body)
 
+    def estimate(
+        self,
+        seed: Optional[int] = None,
+        chips: Optional[int] = None,
+        policy: str = "nominal",
+        estimator: Optional[dict] = None,
+    ) -> dict:
+        """One yield-estimate query (blocking until the result is ready).
+
+        ``estimator`` is the spec object (``{"kind": "adaptive",
+        "ci_target": 0.02}``, ...); omitted fields take the spec's
+        defaults.
+        """
+        return self._request(
+            "POST", "/v1/estimate",
+            _drop_none(
+                seed=seed, chips=chips, policy=policy, estimator=estimator
+            ),
+        )
+
     def simulate(
         self,
         benchmark: str,

@@ -22,12 +22,15 @@ from repro.yieldmodel.constraints import ConstraintPolicy, PAPER_POLICIES
 
 __all__ = [
     "ProtocolError",
+    "EstimateQuery",
     "PopulationQuery",
     "SimulationQuery",
     "ExperimentQuery",
+    "parse_estimate",
     "parse_population",
     "parse_simulation",
     "parse_experiment",
+    "estimate_payload",
     "population_payload",
     "simulation_payload",
     "experiment_payload",
@@ -125,6 +128,21 @@ class SimulationQuery:
         self.key = Engine.simulation_key(settings, spec)
 
 
+class EstimateQuery:
+    """One parsed yield-estimate request."""
+
+    __slots__ = ("settings", "policy", "spec", "stream", "key")
+
+    def __init__(self, settings, policy, spec, stream: bool) -> None:
+        from repro.engine.core import Engine
+
+        self.settings = settings
+        self.policy = policy
+        self.spec = spec
+        self.stream = stream
+        self.key = Engine.estimate_key(settings, policy, spec)
+
+
 class ExperimentQuery:
     """One parsed experiment request."""
 
@@ -197,6 +215,29 @@ def parse_simulation(body: object) -> SimulationQuery:
     )
 
 
+def parse_estimate(body: object) -> EstimateQuery:
+    """Parse a ``POST /v1/estimate`` body.
+
+    The optional ``estimator`` object carries the spec fields
+    (``kind``, ``ci_target``, ``pilot_chips``, ...); its identity joins
+    the job key, so warm repeats of the same spec are byte-identical.
+    """
+    from repro.yieldmodel.estimators import EstimatorSpec
+
+    body = _require_dict(body)
+    policy = policy_by_name(str(body.get("policy", "nominal")))
+    try:
+        spec = EstimatorSpec.from_payload(body.get("estimator", {}))
+    except ReproError as exc:
+        raise ProtocolError(str(exc)) from None
+    return EstimateQuery(
+        settings=_settings_from(body),
+        policy=policy,
+        spec=spec,
+        stream=bool(body.get("stream", False)),
+    )
+
+
 def parse_experiment(body: object) -> ExperimentQuery:
     """Parse a ``POST /v1/experiment`` body."""
     from repro.experiments import available_experiments
@@ -248,6 +289,13 @@ def population_payload(result, detail: str = "summary") -> dict:
             },
         }
     return summary
+
+
+def estimate_payload(report) -> dict:
+    """JSON payload for one yield estimate (the store codec's shape)."""
+    from repro.engine.codec import encode_estimate
+
+    return {"kind": "estimate", "result": encode_estimate(report)}
 
 
 def simulation_payload(result) -> dict:

@@ -59,7 +59,9 @@ from repro.serve.batcher import SimulationBatcher
 from repro.serve.coalescer import Coalescer, Flight
 from repro.serve.protocol import (
     ProtocolError,
+    estimate_payload,
     experiment_payload,
+    parse_estimate,
     parse_experiment,
     parse_population,
     parse_simulation,
@@ -218,6 +220,7 @@ class YieldServer:
         if self.config.dashboard:
             self.router.add("GET", "/dashboard", _handle_dashboard)
         self.router.add("POST", "/v1/population", _handle_population)
+        self.router.add("POST", "/v1/estimate", _handle_estimate)
         self.router.add("POST", "/v1/simulate", _handle_simulate)
         self.router.add("POST", "/v1/experiment", _handle_experiment)
         self.draining = False
@@ -754,6 +757,25 @@ async def _handle_population(server: YieldServer, request: Request) -> Response:
         query.key, "population", request, start
     )
     return Response(200, payload(result))
+
+
+async def _handle_estimate(server: YieldServer, request: Request) -> Response:
+    query = parse_estimate(request.json())
+
+    async def start(flight: Flight):
+        future = server.engine.submit_estimate(
+            query.settings, query.policy, estimator=query.spec,
+            progress=server._progress_publisher(flight),
+        )
+        return await asyncio.wrap_future(future)
+
+    if query.stream:
+        held = await server._admitted(query.key, "estimate", request)
+        return Response(200, stream=server._stream_flight(
+            query.key, "estimate", request, start, estimate_payload, held
+        ))
+    result = await server._run_flight(query.key, "estimate", request, start)
+    return Response(200, estimate_payload(result))
 
 
 async def _handle_simulate(server: YieldServer, request: Request) -> Response:

@@ -19,6 +19,7 @@ scatter, and the Table 6 configuration census.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
@@ -112,7 +113,14 @@ class LossBreakdown:
         return 1.0 - self.scheme_total(scheme) / base
 
     def yield_with(self, scheme: Optional[str] = None) -> float:
-        """Overall yield, optionally after applying ``scheme``."""
+        """Overall yield, optionally after applying ``scheme``.
+
+        An empty population has no shippable chips: yield is 0.0, not a
+        division error (empty breakdowns reach here through zero-chip
+        filter views).
+        """
+        if self.population == 0:
+            return 0.0
         losses = self.base_total if scheme is None else self.scheme_total(scheme)
         return 1.0 - losses / self.population
 
@@ -140,6 +148,37 @@ class LossBreakdown:
         return out
 
 
+#: Cap on distinct ``{arch}.{label}`` gauge series minted by
+#: :func:`_emit_estimator_gauges` over a process lifetime. Scheme names
+#: are caller-supplied, so a long-lived serve process evaluating
+#: ad-hoc scheme sets could otherwise mint unbounded series — the same
+#: hazard ``RequestRollup`` bounds by collapsing unknown paths into
+#: ``<other>``. 32 covers the paper's scheme vocabulary many times over.
+_GAUGE_SERIES_CAP = 32
+
+_gauge_series_seen: set = set()
+_gauge_series_lock = threading.Lock()
+
+
+def _gauge_series_label(arch: str, name: str) -> str:
+    """Admit ``{arch}.{name}`` as a gauge series, or collapse it.
+
+    First-come-first-served up to :data:`_GAUGE_SERIES_CAP` distinct
+    labels; everything past the cap lands on ``{arch}.<other>`` (the
+    overflow series itself is pre-admitted so it never consumes the
+    budget). Keeps ``/metrics`` output bounded no matter what scheme
+    names flow through breakdowns.
+    """
+    key = f"{arch}.{name}"
+    with _gauge_series_lock:
+        if key in _gauge_series_seen:
+            return key
+        if len(_gauge_series_seen) < _GAUGE_SERIES_CAP:
+            _gauge_series_seen.add(key)
+            return key
+    return f"{arch}.<other>"
+
+
 def _emit_estimator_gauges(breakdown: LossBreakdown, horizontal: bool) -> None:
     """Publish estimator-quality gauges for one loss breakdown.
 
@@ -148,7 +187,8 @@ def _emit_estimator_gauges(breakdown: LossBreakdown, horizontal: bool) -> None:
     CI half-width and the sample count, so statistical efficiency —
     "how many chips bought how tight an interval" — is visible on
     ``/metrics`` and the live dashboard, not just in offline reports
-    (ROADMAP: report estimator variance alongside yield).
+    (ROADMAP: report estimator variance alongside yield). Series labels
+    are capped via :func:`_gauge_series_label`.
     """
     from repro.obs.metrics import get_metrics
     from repro.yieldmodel.statistics import wilson_interval
@@ -166,7 +206,7 @@ def _emit_estimator_gauges(breakdown: LossBreakdown, horizontal: bool) -> None:
     for name, losses in targets:
         ships = total - losses
         low, high = wilson_interval(ships, total)
-        key = f"{arch}.{name}"
+        key = _gauge_series_label(arch, name)
         registry.gauge(f"yield.estimate.{key}").set(ships / total)
         registry.gauge(f"yield.ci_halfwidth.{key}").set((high - low) / 2.0)
         registry.gauge(f"yield.samples.{key}").set(total)

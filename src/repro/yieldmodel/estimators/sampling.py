@@ -1,0 +1,140 @@
+"""Shard-level sampling for the estimator layer.
+
+:func:`sample_shard` is the worker body behind
+:func:`repro.engine.workers.estimate_shard`: it draws chips
+``[start, stop)`` of one tagged stream through the columnar population
+sampler, optionally transforms the die-level standard-normal slot
+(stratum restriction, importance-sampling mean shift), evaluates both
+architectures, and returns the circuit results plus the transformed
+die-slot z values the parent needs for exact likelihood ratios.
+
+Determinism contract: chip ``i`` of stream ``tag`` always draws from
+``spawn(seed, f"{tag}-{i}")``, and both transforms are elementwise —
+so any sharding of an id range concatenates bit-identically, at any
+worker count. The ``"chip"`` tag reproduces exactly the chips of the
+reference fixed-N population (the per-chip sampler's own spawn keys),
+which is what makes pilot batches a strict prefix of the brute-force
+population.
+
+``REPRO_COLUMNAR=0`` switches circuit evaluation to the per-chip
+reference path (``chip_map`` + ``evaluate_pair``); sampling always goes
+through the columnar sampler, which is bit-identical to the per-chip
+reference by the PR-7 differential battery — so the escape hatch trades
+speed only, exactly as it does for plain populations.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.circuit.cache_model import CacheCircuitModel, CacheCircuitResult
+from repro.circuit.columnar import evaluate_population_pair
+from repro.circuit.organization import PAPER_ORGANIZATION
+from repro.circuit.technology import TECH45
+from repro.core.errors import ConfigurationError
+from repro.core.rng import spawn
+from repro.variation.columnar import ColumnarPopulationSampler, columnar_enabled
+from repro.variation.parameters import PARAMETER_NAMES
+from repro.variation.sampling import CacheVariationSampler
+from repro.yieldmodel.estimators.normal import ndtri, normal_cdf
+
+__all__ = ["NUM_DIE_PARAMS", "STRATUM_PARAM", "sample_shard"]
+
+#: Size of the die-level z slot (the five Table 1 parameters).
+NUM_DIE_PARAMS = len(PARAMETER_NAMES)
+
+#: Die-slot column the stratified estimator partitions: the threshold
+#: voltage, the parameter both delay and leakage are most sensitive to.
+STRATUM_PARAM = PARAMETER_NAMES.index("vt")
+
+#: Keep the stratum-restricted uniform strictly inside (0, 1): a raw
+#: draw extreme enough for Phi(z) to round to exactly 0 or 1 would
+#: otherwise map onto a stratum boundary (and ndtri's domain edge).
+_U_EPS = 1e-12
+
+
+def _apply_stratum(die_z: np.ndarray, index: int, strata: int) -> None:
+    """Restrict the stratum column to equiprobable stratum ``index``.
+
+    The measure-preserving transform ``z' = ndtri((h + Phi(z)) / K)``
+    maps a standard-normal draw onto the exact conditional distribution
+    of stratum ``h`` of ``K`` — applied per element, in chip order, so
+    shard layout cannot change a value.
+    """
+    if not 0 <= index < strata:
+        raise ConfigurationError(
+            f"stratum index {index} out of range for {strata} strata"
+        )
+    column = die_z[:, STRATUM_PARAM]
+    for i in range(column.shape[0]):
+        u = normal_cdf(float(column[i]))
+        u = min(max(u, _U_EPS), 1.0 - _U_EPS)
+        column[i] = ndtri((index + u) / strata)
+
+
+def sample_shard(
+    seed: int,
+    tag: str,
+    start: int,
+    stop: int,
+    shift: Optional[Sequence[float]] = None,
+    stratum: Optional[Tuple[int, int]] = None,
+) -> Tuple[
+    List[CacheCircuitResult], List[CacheCircuitResult], List[Tuple[float, ...]]
+]:
+    """Draw, transform and evaluate chips ``[start, stop)`` of one stream.
+
+    Returns ``(regular, horizontal, die_z)`` where ``die_z[i]`` is chip
+    ``start + i``'s die-slot standard-normal vector *after* any
+    transform — i.e. the z the chip was actually manufactured from,
+    which is what the importance-sampling likelihood ratio needs.
+    """
+    if not 0 <= start <= stop:
+        raise ConfigurationError(f"invalid chip range [{start}, {stop})")
+    sampler = CacheVariationSampler()
+    columnar = ColumnarPopulationSampler(sampler)
+    if not columnar.supported or not columnar._die_drawn:
+        raise ConfigurationError(
+            "yield estimators require the stock variation table with "
+            "die-level variation (inter_die factor > 0)"
+        )
+    count = stop - start
+    raw = columnar.allocate(count)
+    for index, chip_id in enumerate(range(start, stop)):
+        columnar.draw_chip(spawn(seed, f"{tag}-{chip_id}"), index, raw)
+    die_z = raw.head_z[:, :NUM_DIE_PARAMS]
+    if stratum is not None:
+        _apply_stratum(die_z, stratum[0], stratum[1])
+    if shift is not None:
+        if len(shift) != NUM_DIE_PARAMS:
+            raise ConfigurationError(
+                f"shift must have {NUM_DIE_PARAMS} components, "
+                f"got {len(shift)}"
+            )
+        die_z += np.asarray(shift, dtype=float)
+    population = columnar.finalize(list(range(start, stop)), raw)
+    z_rows = [
+        tuple(float(v) for v in die_z[i]) for i in range(count)
+    ]
+    regular_model = CacheCircuitModel(
+        tech=TECH45, org=PAPER_ORGANIZATION, hyapd=False
+    )
+    hyapd_model = CacheCircuitModel(
+        tech=TECH45, org=PAPER_ORGANIZATION, hyapd=True
+    )
+    if columnar_enabled():
+        regular, horizontal = evaluate_population_pair(
+            regular_model, hyapd_model, population
+        )
+    else:
+        regular, horizontal = [], []
+        for i in range(count):
+            cvmap = population.chip_map(i)
+            reg_result, hyapd_result = regular_model.evaluate_pair(
+                hyapd_model, cvmap
+            )
+            regular.append(reg_result)
+            horizontal.append(hyapd_result)
+    return regular, horizontal, z_rows

@@ -26,6 +26,7 @@ from repro.core.rng import spawn
 from repro.core.validation import require_in_range, require_positive
 
 __all__ = [
+    "z_score",
     "wilson_interval",
     "bootstrap_replicates",
     "bootstrap_interval",
@@ -44,6 +45,16 @@ def _z_for(confidence: float) -> float:
         raise ConfigurationError(
             f"confidence must be one of {sorted(_Z)}, got {confidence}"
         ) from None
+
+
+def z_score(confidence: float) -> float:
+    """Two-sided normal z-score for a supported confidence level.
+
+    The public face of the table behind :func:`wilson_interval`, shared
+    with the estimator layer's normal-approximation intervals so both
+    always quote the same critical value for the same confidence.
+    """
+    return _z_for(confidence)
 
 
 def wilson_interval(

@@ -60,13 +60,16 @@ def test_saved_outcomes_actually_meet_constraints(delays, leaks):
         if not outcome.saved:
             continue
         assert outcome.way_cycles is not None
-        # leakage: disabled ways removed from the total
+        # leakage: disabled ways removed from the total. The re-sum
+        # here can land an ULP away from the scheme's own accumulation
+        # order, so shave the tolerance off rather than adding it on —
+        # a rescue sitting exactly at the limit is feasible.
         leakage = sum(
             case.circuit.ways[w].leakage
             for w, cycles in enumerate(outcome.way_cycles)
             if cycles is not None
         )
-        assert case.constraints.meets_leakage(leakage + 1e-12)
+        assert case.constraints.meets_leakage(leakage - 1e-12)
         # delay: every enabled way's latency class is honoured
         for w, cycles in enumerate(outcome.way_cycles):
             if cycles is None:
